@@ -1,0 +1,88 @@
+"""Experiments ALG-UNION / ALG-INTER / ALG-DIFF: the §5 operators.
+
+Times each binary operator on the Fig. 2 inputs (semantics asserted
+against the paper's worked examples) and then charts how each scales
+with source ontology size on synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algebra import difference, intersection, union
+from repro.workloads.generator import WorkloadConfig, generate_workload
+from repro.workloads.paper_example import (
+    carrier_ontology,
+    factory_ontology,
+    paper_rules,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return carrier_ontology(), factory_ontology(), paper_rules()
+
+
+def test_union_fig2(benchmark, fig2) -> None:
+    carrier, factory, rules = fig2
+    unified = benchmark(
+        lambda: union(carrier, factory, rules, name="transport")
+    )
+    graph = unified.graph()
+    assert graph.node_count() == 30
+    assert graph.edge_count() == 42
+
+
+def test_intersection_fig2(benchmark, fig2) -> None:
+    carrier, factory, rules = fig2
+    inter = benchmark(
+        lambda: intersection(carrier, factory, rules, name="transport")
+    )
+    assert len(inter) == 7  # the transportation ontology
+
+
+def test_difference_fig2(benchmark, fig2) -> None:
+    carrier, factory, rules = fig2
+    diff = benchmark(
+        lambda: difference(
+            carrier, factory, rules, articulation_name="transport"
+        )
+    )
+    assert not diff.has_term("Car")
+
+
+@pytest.mark.parametrize("n_terms", [50, 100, 200, 400])
+def test_algebra_scaling(benchmark, table, n_terms) -> None:
+    """Operator cost grows with source size; the intersection's output
+    stays proportional to the *overlap*, which is the paper's point."""
+    workload = generate_workload(
+        WorkloadConfig(
+            universe_size=2 * n_terms,
+            n_sources=2,
+            terms_per_source=n_terms,
+            overlap=0.25,
+            seed=17,
+        )
+    )
+    o1, o2 = workload.sources
+    rules = workload.truth_rules(0, 1)
+
+    def run_all():
+        unified = union(o1, o2, rules, name="mid")
+        inter = intersection(o1, o2, rules, name="mid")
+        diff = difference(o1, o2, rules, articulation_name="mid")
+        return unified, inter, diff
+
+    unified, inter, diff = benchmark(run_all)
+    table(
+        f"ALG scaling at n={n_terms}/source",
+        ["metric", "value"],
+        [
+            ("union nodes", unified.graph().node_count()),
+            ("intersection terms (≈ overlap)", len(inter)),
+            ("difference terms", len(diff)),
+            ("truth-rule count", len(rules)),
+        ],
+    )
+    assert unified.graph().node_count() >= 2 * n_terms
+    assert 0 < len(inter) <= n_terms

@@ -1,0 +1,63 @@
+"""Experiment FIG2: regenerate the paper's Fig. 2 articulation.
+
+Measures the cost of generating the transport articulation from the
+carrier/factory sources and the §4.1 rule set, and verifies the output
+is bit-for-bit the paper's articulation (terms, internal edges,
+bridges) every time the benchmark body runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.articulation import ArticulationGenerator
+from repro.workloads.paper_example import (
+    EXPECTED_ARTICULATION_TERMS,
+    EXPECTED_BRIDGES,
+    EXPECTED_INTERNAL_EDGES,
+    carrier_ontology,
+    factory_ontology,
+    paper_rules,
+)
+
+
+def generate():
+    generator = ArticulationGenerator(
+        [carrier_ontology(), factory_ontology()], name="transport"
+    )
+    return generator.generate(paper_rules())
+
+
+def check(articulation) -> None:
+    assert (
+        frozenset(articulation.ontology.terms())
+        == EXPECTED_ARTICULATION_TERMS
+    )
+    assert (
+        frozenset(
+            (e.source, e.label, e.target)
+            for e in articulation.ontology.graph.edges()
+        )
+        == EXPECTED_INTERNAL_EDGES
+    )
+    assert (
+        frozenset((e.source, e.label, e.target) for e in articulation.bridges)
+        == EXPECTED_BRIDGES
+    )
+
+
+def test_fig2_generation(benchmark, table) -> None:
+    articulation = benchmark(generate)
+    check(articulation)
+    table(
+        "FIG2 — the generated transport articulation",
+        ["quantity", "value", "paper"],
+        [
+            ("articulation terms", len(list(articulation.ontology.terms())),
+             len(EXPECTED_ARTICULATION_TERMS)),
+            ("internal edges", articulation.ontology.graph.edge_count(),
+             len(EXPECTED_INTERNAL_EDGES)),
+            ("semantic bridges", len(articulation.bridges),
+             len(EXPECTED_BRIDGES)),
+            ("graph ops spent", articulation.cost(), "n/a"),
+            ("conversion functions", len(articulation.functions), 4),
+        ],
+    )

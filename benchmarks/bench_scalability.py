@@ -1,0 +1,106 @@
+"""Experiment SCALE-N: articulation vs global-schema integration as the
+number of sources grows (the paper's §1 scalability claim).
+
+Integrating k sources pairwise-with-a-hub via articulations costs work
+proportional to the *overlap* each new source shares with the hub;
+merging everything into one global schema costs work proportional to
+the *total* vocabulary, and the merged artifact must be rebuilt
+whenever anything changes.  The crossing the paper predicts: ONION's
+advantage widens with k and with source size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.global_schema import GlobalSchemaIntegrator
+from repro.core.articulation import ArticulationGenerator
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+
+def integrate_with_articulations(workload) -> int:
+    """Hub-and-spoke articulation: source 0 is articulated with each
+    later source; returns total graph ops.
+
+    Uses the minimal (one rule per shared concept) rule set — the
+    generator's simple-rule semantics already makes the articulation
+    copy equivalent to the consequence term, so a single directed rule
+    per co-reference suffices for interoperation.
+    """
+    total = 0
+    hub = workload.sources[0]
+    for index in range(1, len(workload.sources)):
+        generator = ArticulationGenerator(
+            [hub, workload.sources[index]], name=f"art{index}"
+        )
+        articulation = generator.generate(
+            workload.truth_rules(0, index, bidirectional=False)
+        )
+        total += articulation.cost()
+    return total
+
+
+def integrate_globally(workload) -> int:
+    alignment = []
+    for index in range(1, len(workload.sources)):
+        alignment.extend(workload.truth_alignment(0, index))
+    integrator = GlobalSchemaIntegrator(workload.sources, alignment)
+    integrator.build()
+    return integrator.total_cost
+
+
+@pytest.mark.parametrize("n_sources", [2, 4, 8, 16])
+def test_scalability_in_source_count(benchmark, table, n_sources) -> None:
+    workload = generate_workload(
+        WorkloadConfig(
+            universe_size=300,
+            n_sources=n_sources,
+            terms_per_source=80,
+            overlap=0.25,
+            seed=23,
+        )
+    )
+    articulation_cost = integrate_with_articulations(workload)
+    global_cost = integrate_globally(workload)
+    benchmark(lambda: integrate_with_articulations(workload))
+    table(
+        f"SCALE-N at k={n_sources} sources (80 terms each, overlap 0.25)",
+        ["approach", "graph ops", "per source"],
+        [
+            ("ONION articulations", articulation_cost,
+             articulation_cost // max(n_sources - 1, 1)),
+            ("global schema merge", global_cost,
+             global_cost // n_sources),
+        ],
+    )
+    # The paper's claim: articulation work tracks the overlap, which is
+    # far below total vocabulary.
+    assert articulation_cost < global_cost
+
+
+@pytest.mark.parametrize("n_terms", [40, 80, 160, 320])
+def test_scalability_in_source_size(benchmark, table, n_terms) -> None:
+    """Fix k=4 sources, grow each source: articulation cost should grow
+    with the (fixed-fraction) overlap, global merge with total size —
+    the gap stays roughly constant as a ratio."""
+    workload = generate_workload(
+        WorkloadConfig(
+            universe_size=4 * n_terms,
+            n_sources=4,
+            terms_per_source=n_terms,
+            overlap=0.2,
+            seed=29,
+        )
+    )
+    articulation_cost = integrate_with_articulations(workload)
+    global_cost = integrate_globally(workload)
+    benchmark(lambda: integrate_with_articulations(workload))
+    table(
+        f"SCALE-N at {n_terms} terms/source (k=4, overlap 0.2)",
+        ["approach", "graph ops"],
+        [
+            ("ONION articulations", articulation_cost),
+            ("global schema merge", global_cost),
+        ],
+    )
+    assert articulation_cost < global_cost

@@ -1,0 +1,126 @@
+"""Experiment SKAT: suggestion quality vs lexicon coverage (§2.4).
+
+SKAT proposes bridges between two synthetic sources whose true
+alignment is known.  We degrade the lexicon (fraction of concept
+families unknown to it) and report precision/recall of the raw
+suggestions, plus the DESIGN.md ablation: lexical matchers alone vs
+lexical + structural.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import ImplicationRule
+from repro.lexicon.skat import (
+    ExactLabelMatcher,
+    SkatEngine,
+    StructuralMatcher,
+    SynonymMatcher,
+)
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+
+def make_workload():
+    return generate_workload(
+        WorkloadConfig(
+            universe_size=120,
+            n_sources=2,
+            terms_per_source=50,
+            overlap=0.5,
+            identical_fraction=0.3,
+            seed=53,
+        )
+    )
+
+
+def simple_pairs(candidates) -> set[tuple[str, str]]:
+    pairs = set()
+    for candidate in candidates:
+        rule = candidate.rule
+        if isinstance(rule, ImplicationRule) and rule.is_simple():
+            refs = list(rule.terms())
+            pairs.add((str(refs[0]), str(refs[1])))
+    return pairs
+
+
+def truth_pairs(workload) -> set[tuple[str, str]]:
+    pairs = set()
+    for t0, t1 in workload.co_referring(0, 1):
+        pairs.add((f"src0:{t0}", f"src1:{t1}"))
+        pairs.add((f"src1:{t1}", f"src0:{t0}"))
+    return pairs
+
+
+def precision_recall(suggested, truth) -> tuple[float, float]:
+    if not suggested:
+        return 0.0, 0.0
+    hit = len(suggested & truth)
+    return hit / len(suggested), hit / len(truth)
+
+
+@pytest.mark.parametrize("noise", [0.0, 0.3, 0.6])
+def test_skat_quality_vs_lexicon_noise(benchmark, table, noise) -> None:
+    workload = make_workload()
+    lexicon = workload.lexicon(noise=noise, seed=7)
+    skat = SkatEngine(
+        matchers=[ExactLabelMatcher(), SynonymMatcher(lexicon)]
+    )
+    candidates = benchmark(
+        lambda: skat.propose(workload.sources[0], workload.sources[1])
+    )
+    precision, recall = precision_recall(
+        simple_pairs(candidates), truth_pairs(workload)
+    )
+    table(
+        f"SKAT quality at lexicon noise={noise}",
+        ["metric", "value"],
+        [
+            ("suggestions", len(candidates)),
+            ("precision", f"{precision:.2f}"),
+            ("recall", f"{recall:.2f}"),
+        ],
+    )
+    # Synthetic labels embed concept ids, so lexical matches are exact:
+    # precision stays perfect; recall degrades with noise.
+    assert precision == pytest.approx(1.0)
+    if noise == 0.0:
+        assert recall > 0.9
+
+
+def test_ablation_structural_matcher(benchmark, table) -> None:
+    """Lexical-only vs lexical+structural at heavy lexicon noise: the
+    structural matcher recovers pairs the lexicon lost."""
+    workload = make_workload()
+    noisy_lexicon = workload.lexicon(noise=0.6, seed=7)
+    truth = truth_pairs(workload)
+
+    lexical = [ExactLabelMatcher(), SynonymMatcher(noisy_lexicon)]
+    skat_lexical = SkatEngine(matchers=list(lexical))
+    benchmark(
+        lambda: skat_lexical.propose(workload.sources[0],
+                                     workload.sources[1])
+    )
+    skat_full = SkatEngine(
+        matchers=[*lexical, StructuralMatcher(seeds=lexical)]
+    )
+
+    pairs_lexical = simple_pairs(
+        skat_lexical.propose(workload.sources[0], workload.sources[1])
+    )
+    pairs_full = simple_pairs(
+        skat_full.propose(workload.sources[0], workload.sources[1])
+    )
+    _, recall_lexical = precision_recall(pairs_lexical, truth)
+    precision_full, recall_full = precision_recall(pairs_full, truth)
+
+    table(
+        "SKAT ablation: +structural matcher (lexicon noise 0.6)",
+        ["pipeline", "recall", "precision"],
+        [
+            ("lexical only", f"{recall_lexical:.2f}", "1.00"),
+            ("lexical + structural", f"{recall_full:.2f}",
+             f"{precision_full:.2f}"),
+        ],
+    )
+    assert recall_full >= recall_lexical

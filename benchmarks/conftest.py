@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module covers one experiment id from DESIGN.md §3 and
+prints a small table of the series the experiment reports (run pytest
+with ``-s`` to see them alongside pytest-benchmark's timing table).
+EXPERIMENTS.md records the measured outcomes against the paper's
+claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """A plain fixed-width table for experiment series."""
+    widths = [
+        max(len(str(h)), max((len(f"{r[i]}") for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n### {title}")
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print(
+            "  "
+            + "  ".join(f"{cell}".ljust(w) for cell, w in zip(row, widths))
+        )
+
+
+@pytest.fixture
+def table():
+    return print_table

@@ -1,0 +1,66 @@
+"""Querying the semantically meaningful intersection (paper §2.3, §2.6).
+
+A buyer's application works entirely in the transport articulation's
+vocabulary and the Euro.  The query engine reformulates each question
+against carrier (prices in Pound Sterling) and factory (prices in
+Dutch Guilders), converts values through the functional bridges, and
+merges the answers.  A materialized view then accelerates the repeated
+question.
+
+Run:  python examples/query_across_sources.py
+"""
+
+from __future__ import annotations
+
+from repro.query.engine import QueryEngine
+from repro.query.views import ViewCatalog
+from repro.workloads.paper_example import (
+    carrier_store,
+    factory_store,
+    generate_transport_articulation,
+)
+
+
+def show(rows) -> None:
+    for row in rows:
+        price = row.get("price")
+        shown = f"{price:10.2f}" if isinstance(price, float) else f"{price!r:>10}"
+        print(f"  {row.source:8s} {row.instance_id:14s} {row.cls:13s} "
+              f"price={shown}")
+
+
+def main() -> None:
+    articulation = generate_transport_articulation()
+    engine = QueryEngine(
+        articulation,
+        {"carrier": carrier_store(), "factory": factory_store()},
+    )
+
+    print("=== all vehicles, prices normalized to Euro ===")
+    question = "SELECT price FROM transport:Vehicle"
+    print(engine.plan(question).describe())
+    show(engine.execute(question))
+
+    print("\n=== budget query: vehicles under 10 000 EUR ===")
+    show(engine.execute(
+        "SELECT price FROM transport:Vehicle WHERE price < 10000"
+    ))
+
+    print("\n=== trucks as the carrier sees them (prices in PS) ===")
+    question = "SELECT price FROM carrier:Trucks"
+    print(engine.plan(question).describe())
+    show(engine.execute(question))
+
+    print("\n=== the same budget query through a materialized view ===")
+    catalog = ViewCatalog(engine)
+    catalog.define("vehicles", "SELECT * FROM transport:Vehicle")
+    rows = catalog.execute(
+        "SELECT price FROM transport:Vehicle WHERE price < 10000"
+    )
+    show(rows)
+    print(f"  (answered from view: hits={catalog.hits}, "
+          f"misses={catalog.misses})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: build two tiny ontologies, articulate them, query the union.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ArticulationGenerator,
+    Ontology,
+    difference,
+    intersection,
+    parse_rules,
+)
+from repro.inference import OntologyInferenceEngine
+from repro.viewer import render_articulation
+
+
+def main() -> None:
+    # 1. Two independently maintained source ontologies.
+    shop = Ontology("shop")
+    for term in ("Product", "Gadget", "Phone", "Price"):
+        shop.add_term(term)
+    shop.add_subclass("Gadget", "Product")
+    shop.add_subclass("Phone", "Gadget")
+    shop.add_attribute("Price", "Product")
+
+    review = Ontology("review")
+    for term in ("Item", "Device", "Smartphone", "Rating"):
+        review.add_term(term)
+    review.add_subclass("Device", "Item")
+    review.add_subclass("Smartphone", "Device")
+    review.add_attribute("Rating", "Item")
+
+    # 2. Articulation rules bridging the semantic gap (paper §4).
+    rules = parse_rules(
+        """
+        shop:Phone => review:Smartphone     # a shop phone is a smartphone
+        shop:Gadget => review:Device
+        shop:Product => review:Item
+        """
+    )
+
+    # 3. Generate the articulation — the only thing physically stored.
+    generator = ArticulationGenerator([shop, review], name="catalog")
+    articulation = generator.generate(rules)
+    print(render_articulation(articulation))
+    print()
+
+    # 4. Reason across the sources through the bridges.
+    engine = OntologyInferenceEngine.from_articulation(articulation)
+    print("shop:Phone => review:Item ?",
+          engine.implies("shop:Phone", "review:Item"))
+    print("review:Device => shop:Product ?",
+          engine.implies("review:Device", "shop:Product"))
+
+    # 5. Algebra: intersection (the shared vocabulary) and difference
+    # (what each source can change without telling anyone).
+    inter = intersection(shop, review, articulation)
+    print("\nintersection terms:", sorted(inter.terms()))
+    independent = difference(review, shop, articulation)
+    print("review - shop keeps:", sorted(independent.terms()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""SKAT + expert in the loop (paper §2.4).
+
+Two bookseller ontologies use different vocabularies.  SKAT proposes
+semantic bridges from exact labels, the WordNet-substitute lexicon and
+graph structure; a scripted expert accepts the good ones, rejects a
+false friend, and volunteers one rule SKAT cannot know.  The loop
+iterates until nothing new appears.
+
+Run:  python examples/semi_automatic_articulation.py
+"""
+
+from __future__ import annotations
+
+from repro import Ontology, parse_rule
+from repro.lexicon import (
+    ExpertDecision,
+    MiniWordNet,
+    ScriptedPolicy,
+    SkatEngine,
+    articulate_with_expert,
+)
+from repro.viewer import render_articulation
+
+
+def build_sources() -> tuple[Ontology, Ontology]:
+    left = Ontology("amazonia")
+    for term in ("Item", "Book", "Paperback", "Author", "Cost"):
+        left.add_term(term)
+    left.add_subclass("Book", "Item")
+    left.add_subclass("Paperback", "Book")
+    left.add_attribute("Author", "Book")
+    left.add_attribute("Cost", "Item")
+
+    right = Ontology("biblio")
+    for term in ("Publication", "Volume", "Softcover", "Writer", "Price"):
+        right.add_term(term)
+    right.add_subclass("Volume", "Publication")
+    right.add_subclass("Softcover", "Volume")
+    right.add_attribute("Writer", "Volume")
+    right.add_attribute("Price", "Publication")
+    return left, right
+
+
+def build_lexicon() -> MiniWordNet:
+    """A domain lexicon the way an expert would curate one."""
+    lexicon = MiniWordNet()
+    lexicon.add_synset("entity", ["entity"])
+    lexicon.add_synset(
+        "publication", ["publication", "item"], hypernyms=["entity"]
+    )
+    lexicon.add_synset(
+        "book", ["book", "volume"], hypernyms=["publication"]
+    )
+    lexicon.add_synset(
+        "paperback", ["paperback", "softcover"], hypernyms=["book"]
+    )
+    lexicon.add_synset("author", ["author", "writer"], hypernyms=["entity"])
+    lexicon.add_synset("price", ["price", "cost"], hypernyms=["entity"])
+    return lexicon
+
+
+def main() -> None:
+    left, right = build_sources()
+    skat = SkatEngine.default(build_lexicon())
+
+    print("=== SKAT suggestions (before expert review) ===")
+    for candidate in skat.propose(left, right):
+        print(f"  [{candidate.score:4.2f} {candidate.matcher:10s}] "
+              f"{candidate.rule}   -- {candidate.reason}")
+
+    # The expert: reject one direction of a pairing they disagree with,
+    # volunteer a rule SKAT cannot derive.
+    expert = ScriptedPolicy(
+        decisions={
+            # block the lexicon's item~publication equivalence in the
+            # dubious direction; keep the other.
+            "biblio:Publication => amazonia:Item": ExpertDecision.REJECT,
+        },
+        default=ExpertDecision.ACCEPT,
+        volunteered=(
+            parse_rule("amazonia:Paperback => mediator:CheapEdition "
+                       "=> biblio:Volume"),
+        ),
+    )
+
+    articulation, audit = articulate_with_expert(
+        left, right, expert, skat=skat, name="mediator"
+    )
+
+    print("\n=== audit trail ===")
+    for review in audit:
+        print(f"  {review.decision.value:7s} {review.candidate.rule}")
+
+    print("\n=== final articulation ===")
+    print(render_articulation(articulation))
+
+
+if __name__ == "__main__":
+    main()

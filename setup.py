@@ -1,0 +1,6 @@
+"""Legacy shim: lets `pip install -e . --no-use-pep517` work offline
+(the environment ships setuptools but not `wheel`)."""
+
+from setuptools import setup
+
+setup()

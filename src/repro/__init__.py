@@ -1,0 +1,95 @@
+"""ONION — A Graph-Oriented Model for Articulation of Ontology
+Interdependencies (Mitra, Wiederhold & Kersten, EDBT 2000).
+
+A full reproduction of the ONION system: the graph-oriented ontology
+model, graph patterns, transformation primitives, articulation rules
+and generator, the ontology algebra (filter/extract/union/intersection/
+difference), a Horn-clause inference engine, the SKAT semi-automatic
+articulation tool with a WordNet-substitute lexicon, knowledge-base
+wrappers, a cross-ontology query processor, and the expert viewer
+session.
+
+Quickstart::
+
+    from repro import Ontology, parse_rules, ArticulationGenerator
+
+    carrier = Ontology("carrier")
+    carrier.add_term("Car")
+    factory = Ontology("factory")
+    factory.add_term("Vehicle")
+
+    rules = parse_rules("carrier:Car => factory:Vehicle")
+    art = ArticulationGenerator([carrier, factory],
+                                name="transport").generate(rules)
+    print(sorted(art.ontology.terms()))   # ['Vehicle']
+"""
+
+from repro.core import (
+    Articulation,
+    ArticulationGenerator,
+    ArticulationRuleSet,
+    Edge,
+    FunctionalRule,
+    ImplicationRule,
+    LabeledGraph,
+    MatchConfig,
+    Ontology,
+    Pattern,
+    RelationRegistry,
+    RelationType,
+    TermRef,
+    TransformLog,
+    UnifiedOntology,
+    compose,
+    difference,
+    extract_ontology,
+    filter_ontology,
+    find_matches,
+    intersection,
+    parse_pattern,
+    parse_rule,
+    parse_rules,
+    qualify,
+    split_qualified,
+    standard_registry,
+    union,
+)
+from repro.errors import OnionError
+from repro.inference import HornEngine, OntologyInferenceEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Articulation",
+    "ArticulationGenerator",
+    "ArticulationRuleSet",
+    "Edge",
+    "FunctionalRule",
+    "HornEngine",
+    "ImplicationRule",
+    "LabeledGraph",
+    "MatchConfig",
+    "OnionError",
+    "Ontology",
+    "OntologyInferenceEngine",
+    "Pattern",
+    "RelationRegistry",
+    "RelationType",
+    "TermRef",
+    "TransformLog",
+    "UnifiedOntology",
+    "__version__",
+    "compose",
+    "difference",
+    "extract_ontology",
+    "filter_ontology",
+    "find_matches",
+    "intersection",
+    "parse_pattern",
+    "parse_rule",
+    "parse_rules",
+    "qualify",
+    "split_qualified",
+    "standard_registry",
+    "union",
+]

@@ -1,0 +1,11 @@
+"""Baseline integration strategies the paper argues against:
+global-schema merging and manually specified mediator views."""
+
+from repro.baselines.global_schema import GlobalSchemaIntegrator
+from repro.baselines.manual_views import ManualViewIntegrator, ViewSpec
+
+__all__ = [
+    "GlobalSchemaIntegrator",
+    "ManualViewIntegrator",
+    "ViewSpec",
+]

@@ -1,0 +1,347 @@
+"""The ``onion`` command-line interface.
+
+The GUI-less face of the ONION toolkit: convert ontology
+representations, inspect and validate them, ask SKAT for bridge
+suggestions, generate articulations from rule files, run the algebra,
+and query knowledge bases across sources.
+
+Examples::
+
+    onion convert carrier.adj carrier.xml
+    onion render carrier.adj
+    onion validate carrier.adj factory.adj
+    onion suggest carrier.adj factory.adj --min-score 0.8
+    onion articulate carrier.adj factory.adj --rules rules.txt \\
+          --name transport --dot articulation.dot
+    onion algebra difference carrier.adj factory.adj --rules rules.txt
+    onion query "SELECT price FROM transport:Vehicle" \\
+          carrier.adj factory.adj --rules rules.txt \\
+          --kb carrier=carrier.json --kb factory=factory.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.algebra import difference, intersection, union
+from repro.core.articulation import Articulation, ArticulationGenerator
+from repro.core.ontology import Ontology
+from repro.core.rules import ArticulationRuleSet, parse_rules
+from repro.errors import OnionError
+from repro.formats import adjacency, dot, idl, rdf, xmlfmt
+from repro.kb.serialize import load_store
+from repro.lexicon.skat import SkatEngine
+from repro.lexicon.wordnet import MiniWordNet
+from repro.query.engine import QueryEngine
+from repro.query.mediator import generate_mediator
+from repro.viewer.render import render_articulation, render_ontology
+
+__all__ = ["main", "build_parser"]
+
+_LOADERS = {
+    ".adj": adjacency.load,
+    ".txt": adjacency.load,
+    ".xml": xmlfmt.load,
+    ".idl": idl.load,
+    ".nt": rdf.load,
+    ".rdf": rdf.load,
+}
+_DUMPERS = {
+    ".adj": adjacency.dumps,
+    ".txt": adjacency.dumps,
+    ".xml": xmlfmt.dumps,
+    ".idl": idl.dumps,
+    ".nt": rdf.dumps,
+    ".rdf": rdf.dumps,
+    ".dot": None,  # handled specially (needs the dot module)
+}
+
+
+def load_ontology(path: str) -> Ontology:
+    """Load an ontology, picking the format from the file extension."""
+    suffix = Path(path).suffix.lower()
+    loader = _LOADERS.get(suffix)
+    if loader is None:
+        raise OnionError(
+            f"cannot infer format from {path!r}; known extensions: "
+            f"{sorted(_LOADERS)}"
+        )
+    return loader(path)
+
+
+def dump_ontology(ontology: Ontology, path: str) -> None:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".dot":
+        Path(path).write_text(dot.ontology_to_dot(ontology))
+        return
+    dumper = _DUMPERS.get(suffix)
+    if dumper is None:
+        raise OnionError(
+            f"cannot infer format from {path!r}; known extensions: "
+            f"{sorted(_DUMPERS)}"
+        )
+    Path(path).write_text(dumper(ontology))
+
+
+def _load_rules(path: str | None) -> ArticulationRuleSet:
+    if path is None:
+        return ArticulationRuleSet()
+    return parse_rules(Path(path).read_text())
+
+
+def _articulate(
+    sources: list[Ontology], rules_path: str | None, name: str
+) -> Articulation:
+    generator = ArticulationGenerator(sources, name=name)
+    return generator.generate(_load_rules(rules_path))
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations (each returns a process exit code)
+# ----------------------------------------------------------------------
+def cmd_convert(args: argparse.Namespace) -> int:
+    ontology = load_ontology(args.input)
+    dump_ontology(ontology, args.output)
+    print(f"wrote {args.output} ({ontology.term_count()} terms, "
+          f"{ontology.graph.edge_count()} relationships)")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    print(render_ontology(load_ontology(args.ontology)))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.ontologies:
+        ontology = load_ontology(path)
+        issues = ontology.validate()
+        status = "OK" if not issues else f"{len(issues)} issue(s)"
+        print(f"{path}: {status}")
+        for issue in issues:
+            print(f"  - {issue}")
+        failures += bool(issues)
+    return 1 if failures else 0
+
+
+def cmd_suggest(args: argparse.Namespace) -> int:
+    left = load_ontology(args.left)
+    right = load_ontology(args.right)
+    lexicon = (
+        MiniWordNet.load(args.lexicon) if args.lexicon else None
+    )
+    skat = SkatEngine.default(lexicon)
+    candidates = skat.propose(left, right)
+    shown = 0
+    for candidate in candidates:
+        if candidate.score < args.min_score:
+            continue
+        shown += 1
+        print(f"[{candidate.score:4.2f} {candidate.matcher:10s}] "
+              f"{candidate.rule}")
+        if args.why:
+            print(f"       {candidate.reason}")
+    print(f"{shown} suggestion(s) at or above score {args.min_score}")
+    return 0
+
+
+def cmd_articulate(args: argparse.Namespace) -> int:
+    sources = [load_ontology(path) for path in args.sources]
+    articulation = _articulate(sources, args.rules, args.name)
+    print(render_articulation(articulation))
+    if args.dot:
+        Path(args.dot).write_text(dot.articulation_to_dot(articulation))
+        print(f"\nwrote {args.dot}")
+    return 0
+
+
+def cmd_algebra(args: argparse.Namespace) -> int:
+    left = load_ontology(args.left)
+    right = load_ontology(args.right)
+    rules = _load_rules(args.rules)
+    if args.operation == "union":
+        unified = union(left, right, rules, name=args.name)
+        graph = unified.graph()
+        print(f"union (virtual): {graph.node_count()} nodes, "
+              f"{graph.edge_count()} edges")
+        for edge in sorted(
+            graph.edges(), key=lambda e: (e.source, e.label, e.target)
+        ):
+            print(f"  {edge.source} -{edge.label}-> {edge.target}")
+    elif args.operation == "intersection":
+        result = intersection(left, right, rules, name=args.name)
+        print(render_ontology(result))
+    else:  # difference
+        result = difference(
+            left,
+            right,
+            rules,
+            articulation_name=args.name,
+            strategy=args.strategy,
+        )
+        print(render_ontology(result))
+    return 0
+
+
+def cmd_mediator(args: argparse.Namespace) -> int:
+    sources = [load_ontology(path) for path in args.sources]
+    articulation = _articulate(sources, args.rules, args.name)
+    spec = generate_mediator(articulation)
+    text = spec.to_odl()
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(spec.classes)} interface(s))")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    sources = [load_ontology(path) for path in args.sources]
+    articulation = _articulate(sources, args.rules, args.name)
+    stores = {}
+    for spec in args.kb:
+        if "=" not in spec:
+            raise OnionError(
+                f"--kb needs the form source=instances.json, got {spec!r}"
+            )
+        source_name, kb_path = spec.split("=", 1)
+        if source_name not in articulation.sources:
+            raise OnionError(f"--kb names unknown source {source_name!r}")
+        stores[source_name] = load_store(
+            kb_path, articulation.sources[source_name]
+        )
+    engine = QueryEngine(articulation, stores)
+    plan = engine.plan(args.query)
+    if args.explain:
+        print(plan.describe())
+        print()
+    rows = engine.run(plan)
+    for row in rows:
+        values = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(row.values.items())
+        )
+        print(f"{row.source}:{row.instance_id} [{row.cls}] {values}")
+    print(f"({len(rows)} row(s))")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="onion",
+        description="ONION: articulation of ontology interdependencies "
+        "(EDBT 2000 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    convert = sub.add_parser(
+        "convert", help="convert between ontology representations"
+    )
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.set_defaults(fn=cmd_convert)
+
+    render = sub.add_parser("render", help="print an ontology summary")
+    render.add_argument("ontology")
+    render.set_defaults(fn=cmd_render)
+
+    validate = sub.add_parser(
+        "validate", help="check ontology invariants; exit 1 on issues"
+    )
+    validate.add_argument("ontologies", nargs="+")
+    validate.set_defaults(fn=cmd_validate)
+
+    suggest = sub.add_parser(
+        "suggest", help="SKAT bridge suggestions between two ontologies"
+    )
+    suggest.add_argument("left")
+    suggest.add_argument("right")
+    suggest.add_argument("--lexicon", help="MiniWordNet JSON file")
+    suggest.add_argument(
+        "--min-score", type=float, default=0.0, dest="min_score"
+    )
+    suggest.add_argument(
+        "--why", action="store_true", help="show each suggestion's reason"
+    )
+    suggest.set_defaults(fn=cmd_suggest)
+
+    articulate = sub.add_parser(
+        "articulate", help="generate an articulation from a rule file"
+    )
+    articulate.add_argument("sources", nargs="+")
+    articulate.add_argument("--rules", help="rule file (one rule per line)")
+    articulate.add_argument("--name", default="articulation")
+    articulate.add_argument("--dot", help="also write a Graphviz rendering")
+    articulate.set_defaults(fn=cmd_articulate)
+
+    algebra = sub.add_parser(
+        "algebra", help="run a binary algebra operator on two ontologies"
+    )
+    algebra.add_argument(
+        "operation", choices=["union", "intersection", "difference"]
+    )
+    algebra.add_argument("left")
+    algebra.add_argument("right")
+    algebra.add_argument("--rules", help="rule file")
+    algebra.add_argument("--name", default="articulation")
+    algebra.add_argument(
+        "--strategy",
+        choices=["conservative", "formal"],
+        default="conservative",
+        help="difference semantics (see DESIGN.md)",
+    )
+    algebra.set_defaults(fn=cmd_algebra)
+
+    mediator = sub.add_parser(
+        "mediator",
+        help="derive an ODMG/ODL mediator spec from an articulation",
+    )
+    mediator.add_argument("sources", nargs="+")
+    mediator.add_argument("--rules", help="rule file")
+    mediator.add_argument("--name", default="articulation")
+    mediator.add_argument("--out", help="write ODL here instead of stdout")
+    mediator.set_defaults(fn=cmd_mediator)
+
+    query = sub.add_parser(
+        "query", help="run a query across articulated sources"
+    )
+    query.add_argument("query")
+    query.add_argument("sources", nargs="+")
+    query.add_argument("--rules", help="rule file")
+    query.add_argument("--name", default="articulation")
+    query.add_argument(
+        "--kb",
+        action="append",
+        default=[],
+        metavar="SOURCE=FILE.json",
+        help="instance data for one source (repeatable)",
+    )
+    query.add_argument(
+        "--explain", action="store_true", help="print the execution plan"
+    )
+    query.set_defaults(fn=cmd_query)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except OnionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Core data layer: the graph-oriented ontology model, articulation
+generator and ontology algebra (paper §§3-5)."""
+
+from repro.core.algebra import (
+    compose,
+    difference,
+    extract_ontology,
+    filter_ontology,
+    intersection,
+    union,
+)
+from repro.core.articulation import Articulation, ArticulationGenerator
+from repro.core.graph import Edge, LabeledGraph
+from repro.core.maintenance import ArticulationMaintainer, MaintenanceReport
+from repro.core.ontology import Ontology, qualify, split_qualified
+from repro.core.pattern_parser import parse_pattern
+from repro.core.patterns import (
+    Binding,
+    MatchConfig,
+    Pattern,
+    find_matches,
+    first_match,
+    matches,
+)
+from repro.core.relations import (
+    ATTRIBUTE_OF,
+    INSTANCE_OF,
+    SEMANTIC_IMPLICATION,
+    SI_BRIDGE,
+    SUBCLASS_OF,
+    RelationRegistry,
+    RelationType,
+    standard_registry,
+)
+from repro.core.rules import (
+    AndOperand,
+    ArticulationRuleSet,
+    FunctionalRule,
+    HornClause,
+    ImplicationRule,
+    OrOperand,
+    TermOperand,
+    TermRef,
+    parse_rule,
+    parse_rules,
+)
+from repro.core.transform import (
+    EdgeAddition,
+    EdgeDeletion,
+    NodeAddition,
+    NodeDeletion,
+    TransformLog,
+    apply_all,
+)
+from repro.core.unified import UnifiedOntology
+
+__all__ = [
+    "Articulation",
+    "ArticulationGenerator",
+    "ArticulationMaintainer",
+    "MaintenanceReport",
+    "ArticulationRuleSet",
+    "AndOperand",
+    "ATTRIBUTE_OF",
+    "Binding",
+    "Edge",
+    "EdgeAddition",
+    "EdgeDeletion",
+    "FunctionalRule",
+    "HornClause",
+    "ImplicationRule",
+    "INSTANCE_OF",
+    "LabeledGraph",
+    "MatchConfig",
+    "NodeAddition",
+    "NodeDeletion",
+    "Ontology",
+    "OrOperand",
+    "Pattern",
+    "RelationRegistry",
+    "RelationType",
+    "SEMANTIC_IMPLICATION",
+    "SI_BRIDGE",
+    "SUBCLASS_OF",
+    "TermOperand",
+    "TermRef",
+    "TransformLog",
+    "UnifiedOntology",
+    "apply_all",
+    "compose",
+    "difference",
+    "extract_ontology",
+    "filter_ontology",
+    "find_matches",
+    "first_match",
+    "intersection",
+    "matches",
+    "parse_pattern",
+    "parse_rule",
+    "parse_rules",
+    "qualify",
+    "split_qualified",
+    "standard_registry",
+    "union",
+]

@@ -1,0 +1,538 @@
+"""The articulation generator (paper §4).
+
+Given source ontologies and a set of articulation rules, the generator
+builds the **articulation**: an articulation ontology plus the semantic
+bridges linking it to the sources.  Only the articulation is physically
+stored — the unified ontology stays virtual (paper §2, "the unified
+ontology is not a physical entity").
+
+Rule interpretation follows the paper's worked examples one for one:
+
+* ``O1:A => O2:B`` (both terms in source ontologies) — add node ``B``
+  to the articulation, an ``SIBridge`` edge from ``O1:A`` to it, and a
+  *pair* of ``SIBridge`` edges between ``O2:B`` and the articulation
+  node establishing their equivalence.
+* ``O1:A => ART:X => O2:B`` (cascade through the articulation) — add
+  node ``X`` and the two directed bridges, nothing more.
+* ``ART:X => ART:Y`` (both ends in the articulation) — a SubclassOf
+  edge inside the articulation ontology ("the class Owner is a subclass
+  of the class Person").
+* ``(P ^ Q) => R`` — synthesize a class for the conjunction, bridge it
+  *to* each conjunct and to ``R``, and bridge every common subclass of
+  the conjuncts *into* the synthesized class.
+* ``P => (Q | R)`` — synthesize a class for the disjunction and bridge
+  the premise and every disjunct *into* it.
+* ``Fn() : O1:A => ART:B`` — a conversion edge labeled ``Fn()`` (and
+  its inverse when supplied), registered for the query processor.
+
+All mutations go through the NA/EA transformation primitives and are
+journaled, so the expert loop can inspect and roll back exactly what a
+rule did, and benchmarks can count graph work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.graph import Edge, LabeledGraph
+from repro.core.ontology import Ontology, qualify, split_qualified
+from repro.core.relations import (
+    SI_BRIDGE,
+    SUBCLASS_OF,
+    RelationRegistry,
+    standard_registry,
+)
+from repro.core.rules import (
+    AndOperand,
+    ArticulationRuleSet,
+    FunctionalRule,
+    ImplicationRule,
+    Operand,
+    OrOperand,
+    TermOperand,
+    TermRef,
+)
+from repro.core.transform import EdgeAddition, NodeAddition, TransformLog
+from repro.errors import ArticulationError, TermNotFoundError
+
+__all__ = ["Articulation", "ArticulationGenerator"]
+
+
+@dataclass
+class Articulation:
+    """An articulation ontology plus its semantic bridges.
+
+    ``bridges`` connect qualified node ids (``source:Term`` to
+    ``articulation:Term``); ``ontology`` holds the articulation's own
+    nodes and internal edges; ``functions`` maps a conversion edge
+    label (``"PSToEuroFn()"``) to its executable rule.
+    """
+
+    ontology: Ontology
+    sources: dict[str, Ontology]
+    rules: ArticulationRuleSet
+    bridges: set[Edge] = field(default_factory=set)
+    functions: dict[str, FunctionalRule] = field(default_factory=dict)
+    log: TransformLog = field(default_factory=TransformLog)
+
+    @property
+    def name(self) -> str:
+        return self.ontology.name
+
+    # ------------------------------------------------------------------
+    # bridge navigation (used by algebra, query reformulation)
+    # ------------------------------------------------------------------
+    def bridges_from(self, qualified: str) -> list[Edge]:
+        return [e for e in self.bridges if e.source == qualified]
+
+    def bridges_to(self, qualified: str) -> list[Edge]:
+        return [e for e in self.bridges if e.target == qualified]
+
+    def source_terms_implying(self, art_term: str) -> set[str]:
+        """Qualified source terms bridged *into* an articulation term.
+
+        These are the source specializations of the articulation class:
+        exactly the terms a query over the articulation must fan out to.
+        """
+        target = qualify(self.name, art_term)
+        return {
+            e.source
+            for e in self.bridges
+            if e.target == target and not e.source.startswith(f"{self.name}:")
+        }
+
+    def articulation_terms_for(self, qualified_source_term: str) -> set[str]:
+        """Articulation terms a qualified source term is bridged into."""
+        prefix = f"{self.name}:"
+        return {
+            split_qualified(e.target)[1]
+            for e in self.bridges
+            if e.source == qualified_source_term and e.target.startswith(prefix)
+        }
+
+    def covered_source_terms(self) -> set[str]:
+        """All qualified source terms touched by any bridge.
+
+        The maintenance story (§5.3) hinges on this set: changes to
+        source terms outside it never require articulation updates.
+        """
+        prefix = f"{self.name}:"
+        covered: set[str] = set()
+        for edge in self.bridges:
+            for endpoint in (edge.source, edge.target):
+                if not endpoint.startswith(prefix):
+                    covered.add(endpoint)
+        return covered
+
+    def conversion_between(
+        self, qualified_source: str, qualified_target: str
+    ) -> FunctionalRule | None:
+        """The functional rule on a direct conversion edge, if any."""
+        for edge in self.bridges:
+            if (
+                edge.source == qualified_source
+                and edge.target == qualified_target
+                and edge.label in self.functions
+            ):
+                return self.functions[edge.label]
+        return None
+
+    # ------------------------------------------------------------------
+    # unified view (paper §2: virtual, computed on demand)
+    # ------------------------------------------------------------------
+    def unified_graph(self) -> LabeledGraph:
+        """Sources + articulation + bridges, over qualified node ids.
+
+        This is exactly the union semantics of §5.1:
+        ``N = N1 + N2 + NA`` and ``E = E1 + E2 + EA + BridgeEdges``.
+        """
+        graph = LabeledGraph()
+        for source in self.sources.values():
+            graph.merge(source.qualified_graph())
+        graph.merge(self.ontology.qualified_graph())
+        for edge in self.bridges:
+            # Bridge endpoints may reference terms removed from a source
+            # since generation; skip dangling bridges rather than fail.
+            if graph.has_node(edge.source) and graph.has_node(edge.target):
+                graph.add_edge(edge.source, edge.label, edge.target)
+        return graph
+
+    def dangling_bridges(self) -> list[Edge]:
+        """Bridges whose source-side endpoint no longer exists.
+
+        Non-empty output means a source changed inside the articulated
+        region and the articulation needs maintenance (§5.3).
+        """
+        dangling: list[Edge] = []
+        for edge in self.bridges:
+            for endpoint in (edge.source, edge.target):
+                onto_name, term = split_qualified(endpoint)
+                if onto_name == self.name:
+                    exists = self.ontology.has_term(term)
+                elif onto_name in self.sources:
+                    exists = self.sources[onto_name].has_term(term)
+                else:
+                    exists = False
+                if not exists:
+                    dangling.append(edge)
+                    break
+        return dangling
+
+    def drop_dangling_bridges(self) -> int:
+        """Remove dangling bridges; return how many were dropped."""
+        dangling = self.dangling_bridges()
+        for edge in dangling:
+            self.bridges.discard(edge)
+        return len(dangling)
+
+    def cost(self) -> int:
+        """Total elementary graph changes spent building the articulation."""
+        return self.log.total_cost()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Articulation {self.name!r} terms={len(self.ontology)} "
+            f"bridges={len(self.bridges)} sources={sorted(self.sources)}>"
+        )
+
+
+class ArticulationGenerator:
+    """Builds an :class:`Articulation` from sources and rules (§4).
+
+    The generator is reusable: :meth:`generate` starts a fresh
+    articulation, while :meth:`extend` applies additional rules to an
+    existing one (the expert's iterate-until-satisfied loop, §2.4).
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[Ontology],
+        *,
+        name: str = "articulation",
+        registry: RelationRegistry | None = None,
+    ) -> None:
+        self.sources: dict[str, Ontology] = {}
+        for source in sources:
+            if source.name in self.sources:
+                raise ArticulationError(
+                    f"duplicate source ontology name {source.name!r}"
+                )
+            self.sources[source.name] = source
+        if name in self.sources:
+            raise ArticulationError(
+                f"articulation name {name!r} collides with a source"
+            )
+        self.name = name
+        base = registry if registry is not None else standard_registry()
+        for source in self.sources.values():
+            base = base.merged_with(source.registry)
+        self.registry = base
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self, rules: ArticulationRuleSet) -> Articulation:
+        """Build the articulation for ``rules`` from scratch."""
+        articulation = Articulation(
+            ontology=Ontology(self.name, registry=self.registry.copy()),
+            sources=dict(self.sources),
+            rules=ArticulationRuleSet(),
+        )
+        self.extend(articulation, rules)
+        return articulation
+
+    def extend(
+        self, articulation: Articulation, rules: ArticulationRuleSet
+    ) -> int:
+        """Apply additional rules to an existing articulation.
+
+        Returns the number of rules newly applied.  Rules already in
+        the articulation's rule set are skipped, which makes the
+        SKAT-expert iteration idempotent.
+        """
+        applied = 0
+        for rule in rules:
+            if not articulation.rules.add(rule):
+                continue
+            if isinstance(rule, ImplicationRule):
+                self._apply_implication(articulation, rule)
+            elif isinstance(rule, FunctionalRule):
+                self._apply_functional(articulation, rule)
+            else:  # pragma: no cover - defensive
+                raise ArticulationError(f"unsupported rule type: {rule!r}")
+            applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # rule interpretation
+    # ------------------------------------------------------------------
+    def _resolve(self, articulation: Articulation, ref: TermRef) -> str:
+        """Resolve a term reference to a qualified node id.
+
+        Source references must name existing terms.  References to the
+        articulation ontology (explicit, or unqualified) create the
+        term on demand — that is how cascades introduce new articulation
+        classes like ``transport:PassengerCar``.
+        """
+        onto_name = ref.ontology or self.name
+        if onto_name == self.name:
+            if not articulation.ontology.has_term(ref.term):
+                self._add_articulation_term(articulation, ref.term)
+            return qualify(self.name, ref.term)
+        source = self.sources.get(onto_name)
+        if source is None:
+            raise ArticulationError(
+                f"rule references unknown ontology {onto_name!r}"
+            )
+        if not source.has_term(ref.term):
+            raise TermNotFoundError(ref.term, onto_name)
+        return qualify(onto_name, ref.term)
+
+    def _add_articulation_term(
+        self, articulation: Articulation, term: str
+    ) -> str:
+        articulation.log.apply(
+            articulation.ontology.graph, NodeAddition(term, term)
+        )
+        return qualify(self.name, term)
+
+    def _add_internal_edge(
+        self, articulation: Articulation, source: str, label: str, target: str
+    ) -> None:
+        """An edge between two articulation terms (stored in the ontology)."""
+        edge = Edge(source, label, target)
+        if not articulation.ontology.graph.has_edge(source, label, target):
+            articulation.log.apply(
+                articulation.ontology.graph, EdgeAddition((edge,))
+            )
+
+    def _add_bridge(
+        self, articulation: Articulation, source: str, label: str, target: str
+    ) -> None:
+        """A bridge edge between qualified endpoints (stored separately)."""
+        edge = Edge(source, label, target)
+        if edge not in articulation.bridges:
+            articulation.bridges.add(edge)
+            # Bridges live outside any one graph; journal them on the
+            # articulation's log with a free-standing EA for costing.
+            articulation.log.applied.append(EdgeAddition((edge,)))
+
+    def _connect(
+        self, articulation: Articulation, specific: str, general: str
+    ) -> None:
+        """One atomic implication ``specific => general`` as graph work."""
+        prefix = f"{self.name}:"
+        spec_internal = specific.startswith(prefix)
+        gen_internal = general.startswith(prefix)
+        if spec_internal and gen_internal:
+            # Paper: Owner => Person adds a SubclassOf edge inside the
+            # articulation ontology.
+            self._add_internal_edge(
+                articulation,
+                split_qualified(specific)[1],
+                SUBCLASS_OF.code,
+                split_qualified(general)[1],
+            )
+        else:
+            self._add_bridge(articulation, specific, SI_BRIDGE.code, general)
+
+    def _apply_implication(
+        self, articulation: Articulation, rule: ImplicationRule
+    ) -> None:
+        # Resolve every step to a qualified node id, synthesizing
+        # articulation classes for compound operands.
+        resolved: list[str] = []
+        for step in rule.steps:
+            if isinstance(step, TermOperand):
+                resolved.append(self._resolve(articulation, step.ref))
+            else:
+                resolved.append(
+                    self._synthesize_compound(articulation, step, rule.label)
+                )
+
+        if rule.is_simple():
+            spec_ref = rule.steps[0]
+            gen_ref = rule.steps[-1]
+            assert isinstance(spec_ref, TermOperand)
+            assert isinstance(gen_ref, TermOperand)
+            spec_onto = spec_ref.ref.ontology or self.name
+            gen_onto = gen_ref.ref.ontology or self.name
+            if spec_onto != self.name and gen_onto != self.name:
+                # Paper's first worked example: copy the consequence
+                # into the articulation and establish equivalence.
+                art_node = self._add_articulation_term_if_missing(
+                    articulation, gen_ref.ref.term
+                )
+                self._add_bridge(
+                    articulation, resolved[0], SI_BRIDGE.code, art_node
+                )
+                self._add_bridge(
+                    articulation, resolved[1], SI_BRIDGE.code, art_node
+                )
+                self._add_bridge(
+                    articulation, art_node, SI_BRIDGE.code, resolved[1]
+                )
+                return
+
+        for specific, general in zip(resolved, resolved[1:]):
+            self._connect(articulation, specific, general)
+
+    def _add_articulation_term_if_missing(
+        self, articulation: Articulation, term: str
+    ) -> str:
+        if articulation.ontology.has_term(term):
+            return qualify(self.name, term)
+        return self._add_articulation_term(articulation, term)
+
+    def _synthesize_compound(
+        self,
+        articulation: Articulation,
+        operand: Operand,
+        label_override: str | None,
+    ) -> str:
+        """Create the articulation class representing ``(A ^ B)`` / ``(A | B)``.
+
+        Returns the qualified id of the synthesized node.
+        """
+        label = label_override or operand.default_label()
+        node = self._add_articulation_term_if_missing(articulation, label)
+        members = [
+            self._resolve(articulation, term_ref)
+            for term_ref in operand.terms()
+        ]
+        if isinstance(operand, AndOperand):
+            # The synthesized class specializes every conjunct...
+            for member in members:
+                self._connect(articulation, node, member)
+            # ...and every common subclass of all conjuncts specializes it.
+            for common in self._common_subclasses(operand):
+                self._connect(articulation, common, node)
+        elif isinstance(operand, OrOperand):
+            # Every disjunct specializes the synthesized class.
+            for member in members:
+                self._connect(articulation, member, node)
+        else:  # pragma: no cover - defensive
+            raise ArticulationError(f"unsupported operand: {operand!r}")
+        return node
+
+    def _common_subclasses(self, operand: AndOperand) -> list[str]:
+        """Qualified terms that are (transitive) subclasses of *all* conjuncts.
+
+        Computable only when every conjunct lives in one source
+        ontology — cross-ontology conjunction has no shared subclass
+        hierarchy to inspect, so it contributes no extra edges.
+        """
+        ontologies = {ref.ontology for ref in operand.terms()}
+        if len(ontologies) != 1:
+            return []
+        onto_name = next(iter(ontologies))
+        if onto_name is None or onto_name == self.name:
+            return []
+        source = self.sources.get(onto_name)
+        if source is None:
+            return []
+        common: set[str] | None = None
+        for ref in operand.terms():
+            if not source.has_term(ref.term):
+                raise TermNotFoundError(ref.term, onto_name)
+            descendants = source.descendants(ref.term)
+            common = descendants if common is None else common & descendants
+        if not common:
+            return []
+        return sorted(qualify(onto_name, term) for term in common)
+
+    def _apply_functional(
+        self, articulation: Articulation, rule: FunctionalRule
+    ) -> None:
+        source = self._resolve(articulation, rule.source)
+        target = self._resolve(articulation, rule.target)
+        label = rule.edge_label()
+        self._add_bridge(articulation, source, label, target)
+        articulation.functions[label] = rule
+        inverse_label = rule.inverse_edge_label()
+        if inverse_label is not None:
+            self._add_bridge(articulation, target, inverse_label, source)
+            articulation.functions[inverse_label] = FunctionalRule(
+                rule.inverse_name or f"{rule.name}Inverse",
+                rule.target,
+                rule.source,
+                fn=rule.inverse,
+                inverse=rule.fn,
+                inverse_name=rule.name,
+                source_kind=rule.source_kind,
+            )
+
+    # ------------------------------------------------------------------
+    # structure inheritance (§4.2)
+    # ------------------------------------------------------------------
+    def inherit_structure(
+        self,
+        articulation: Articulation,
+        source_name: str,
+        *,
+        terms: Iterable[str] | None = None,
+        transitive: bool = False,
+    ) -> int:
+        """Copy source structure into the articulation ontology (§4.2).
+
+        For every pair of articulation terms that are bridged to terms
+        of ``source_name``, copy the edges that connect those source
+        terms ("the articulation generator generates the edges between
+        the nodes in the articulation ontology based primarily on the
+        edges in the selected portion of O_i").  With ``transitive``,
+        SubclassOf paths also become direct edges.  Returns the number
+        of edges added.
+        """
+        source = self.sources.get(source_name)
+        if source is None:
+            raise ArticulationError(f"unknown source ontology {source_name!r}")
+        selected = set(terms) if terms is not None else None
+
+        # articulation term -> the source terms it is bridged to.
+        counterpart: dict[str, set[str]] = {}
+        prefix_src = f"{source_name}:"
+        prefix_art = f"{self.name}:"
+        for edge in articulation.bridges:
+            ends = (edge.source, edge.target)
+            for a, b in (ends, ends[::-1]):
+                if a.startswith(prefix_src) and b.startswith(prefix_art):
+                    src_term = split_qualified(a)[1]
+                    art_term = split_qualified(b)[1]
+                    if selected is not None and src_term not in selected:
+                        continue
+                    counterpart.setdefault(art_term, set()).add(src_term)
+
+        added = 0
+        art_terms = list(counterpart)
+        for i, art_a in enumerate(art_terms):
+            for art_b in art_terms:
+                if art_a == art_b:
+                    continue
+                for src_a in counterpart[art_a]:
+                    for src_b in counterpart[art_b]:
+                        for edge in source.graph.out_edges(src_a):
+                            if edge.target != src_b:
+                                continue
+                            if not articulation.ontology.graph.has_edge(
+                                art_a, edge.label, art_b
+                            ):
+                                self._add_internal_edge(
+                                    articulation, art_a, edge.label, art_b
+                                )
+                                added += 1
+                        if transitive and not source.graph.has_edge(
+                            src_a, SUBCLASS_OF.code, src_b
+                        ):
+                            if src_b in source.ancestors(src_a):
+                                if not articulation.ontology.graph.has_edge(
+                                    art_a, SUBCLASS_OF.code, art_b
+                                ):
+                                    self._add_internal_edge(
+                                        articulation,
+                                        art_a,
+                                        SUBCLASS_OF.code,
+                                        art_b,
+                                    )
+                                    added += 1
+        return added

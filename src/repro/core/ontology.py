@@ -1,0 +1,297 @@
+"""The ontology model: a named, consistent, directed labeled graph.
+
+An :class:`Ontology` wraps a :class:`~repro.core.graph.LabeledGraph`
+and enforces the consistency requirement from §1 of the paper: *"a term
+in an ontology does not refer to different concepts within one
+knowledge base"*.  Inside one ontology, therefore, the term string *is*
+the node id, and the paper's convention of using a node's label in
+place of the node (§3, end) is safe.
+
+Across ontologies the same term may appear in several sources; the
+module-level helpers :func:`qualify` and :func:`split_qualified` define
+the ``ontology:term`` naming used by unified graphs, articulation
+bridges and the textual rule/pattern languages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.graph import Edge, LabeledGraph
+from repro.core.relations import (
+    ATTRIBUTE_OF,
+    INSTANCE_OF,
+    SEMANTIC_IMPLICATION,
+    SUBCLASS_OF,
+    RelationRegistry,
+    standard_registry,
+)
+from repro.errors import ConsistencyError, OntologyError, TermNotFoundError
+
+__all__ = ["Ontology", "qualify", "split_qualified", "QUALIFIER"]
+
+QUALIFIER = ":"
+
+
+def qualify(ontology_name: str, term: str) -> str:
+    """Build the qualified node id ``ontology:term`` used in unified graphs."""
+    return f"{ontology_name}{QUALIFIER}{term}"
+
+
+def split_qualified(qualified: str) -> tuple[str | None, str]:
+    """Split ``ontology:term`` into its parts.
+
+    Unqualified inputs return ``(None, term)``.  Only the *first*
+    separator splits, so terms containing ``:`` survive round-trips.
+    """
+    if QUALIFIER in qualified:
+        ontology, term = qualified.split(QUALIFIER, 1)
+        return ontology, term
+    return None, qualified
+
+
+class Ontology:
+    """A named ontology: terms (nodes) plus labeled relationships (edges).
+
+    The constructor starts from an empty graph and the paper's standard
+    relationship registry; wrappers in :mod:`repro.formats` build
+    ontologies from external representations.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        registry: RelationRegistry | None = None,
+    ) -> None:
+        if not name:
+            raise OntologyError("ontology name must be non-empty")
+        if QUALIFIER in name:
+            raise OntologyError(
+                f"ontology name may not contain {QUALIFIER!r}: {name!r}"
+            )
+        self.name = name
+        self.graph = LabeledGraph()
+        self.registry = registry if registry is not None else standard_registry()
+
+    # ------------------------------------------------------------------
+    # term management
+    # ------------------------------------------------------------------
+    def add_term(self, term: str) -> str:
+        """Add a term (concept) to the ontology.
+
+        The node id and label are both the term string, which keeps the
+        label/node interchangeability the paper relies on.  Adding a
+        term twice raises — that would mean one term for two concepts.
+        """
+        if self.graph.has_node(term):
+            raise ConsistencyError(
+                f"term {term!r} already exists in ontology {self.name!r}"
+            )
+        return self.graph.add_node(term, term)
+
+    def ensure_term(self, term: str) -> str:
+        """Add the term if absent; return it either way."""
+        if not self.graph.has_node(term):
+            self.graph.add_node(term, term)
+        return term
+
+    def remove_term(self, term: str) -> list[Edge]:
+        """Remove a term and all its relationships; return removed edges."""
+        self._require(term)
+        return self.graph.remove_node(term)
+
+    def has_term(self, term: str) -> bool:
+        return self.graph.has_node(term)
+
+    def terms(self) -> Iterator[str]:
+        return self.graph.nodes()
+
+    def term_count(self) -> int:
+        return self.graph.node_count()
+
+    def _require(self, term: str) -> str:
+        if not self.graph.has_node(term):
+            raise TermNotFoundError(term, self.name)
+        return term
+
+    # ------------------------------------------------------------------
+    # relationship management
+    # ------------------------------------------------------------------
+    def relate(self, source: str, relation: str, target: str) -> Edge:
+        """Add the relationship edge ``(source, relation, target)``.
+
+        ``relation`` may be a registered long name ("SubclassOf"), a
+        registered code ("S"), or any other non-empty verb label — the
+        paper allows free binary relationships beyond the standard set.
+        Registered names are normalized to their edge code so the graph
+        matches the paper's figures.
+        """
+        self._require(source)
+        self._require(target)
+        known = self.registry.get(relation)
+        code = known.code if known is not None else relation
+        return self.graph.add_edge(source, code, target)
+
+    def unrelate(self, source: str, relation: str, target: str) -> None:
+        """Remove a relationship edge; raises if it is not present."""
+        known = self.registry.get(relation)
+        code = known.code if known is not None else relation
+        self.graph.remove_edge(Edge(source, code, target))
+
+    def add_subclass(self, subclass: str, superclass: str) -> Edge:
+        """``subclass`` SubclassOf ``superclass`` (edge label ``S``)."""
+        return self.relate(subclass, SUBCLASS_OF.name, superclass)
+
+    def add_attribute(self, attribute: str, owner: str) -> Edge:
+        """``attribute`` AttributeOf ``owner`` (edge label ``A``)."""
+        return self.relate(attribute, ATTRIBUTE_OF.name, owner)
+
+    def add_instance(self, instance: str, cls: str) -> Edge:
+        """``instance`` InstanceOf ``cls`` (edge label ``I``)."""
+        return self.relate(instance, INSTANCE_OF.name, cls)
+
+    def add_implication(self, specific: str, general: str) -> Edge:
+        """``specific`` SemanticImplication ``general`` (edge label ``SI``)."""
+        return self.relate(specific, SEMANTIC_IMPLICATION.name, general)
+
+    # ------------------------------------------------------------------
+    # structural queries (direct, non-inferred; the inference engine
+    # provides the transitive versions)
+    # ------------------------------------------------------------------
+    def related(self, source: str, relation: str) -> set[str]:
+        """Targets of ``relation`` edges leaving ``source``."""
+        self._require(source)
+        known = self.registry.get(relation)
+        code = known.code if known is not None else relation
+        return self.graph.successors(source, code)
+
+    def superclasses(self, term: str) -> set[str]:
+        return self.related(term, SUBCLASS_OF.code)
+
+    def subclasses(self, term: str) -> set[str]:
+        self._require(term)
+        return self.graph.predecessors(term, SUBCLASS_OF.code)
+
+    def attributes(self, term: str) -> set[str]:
+        """Attributes attached to ``term`` (sources of ``A`` edges into it)."""
+        self._require(term)
+        return self.graph.predecessors(term, ATTRIBUTE_OF.code)
+
+    def instances(self, term: str) -> set[str]:
+        self._require(term)
+        return self.graph.predecessors(term, INSTANCE_OF.code)
+
+    def ancestors(self, term: str, relation: str | None = None) -> set[str]:
+        """All terms reachable from ``term`` via ``relation`` edges.
+
+        Defaults to SubclassOf.  Excludes the term itself.
+        """
+        self._require(term)
+        code = self.registry.code_for(relation or SUBCLASS_OF.name)
+        return self.graph.reachable_from(term, labels={code}) - {term}
+
+    def descendants(self, term: str, relation: str | None = None) -> set[str]:
+        """All terms that reach ``term`` via ``relation`` edges (excl. itself)."""
+        self._require(term)
+        code = self.registry.code_for(relation or SUBCLASS_OF.name)
+        return self.graph.reachable_from(term, labels={code}, reverse=True) - {
+            term
+        }
+
+    def roots(self, relation: str | None = None) -> set[str]:
+        """Terms with no outgoing ``relation`` edge (hierarchy tops)."""
+        code = self.registry.code_for(relation or SUBCLASS_OF.name)
+        return {
+            term
+            for term in self.graph.nodes()
+            if not self.graph.out_edges(term, code)
+        }
+
+    # ------------------------------------------------------------------
+    # validation / introspection
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Check ontology invariants; return a list of human-readable issues.
+
+        An empty list means the ontology is well-formed: consistent
+        labels, no dangling structure, and no cycle in the SubclassOf
+        hierarchy (a class that is its own strict specialization is the
+        kind of articulation error §1 says the model must detect).
+        """
+        issues: list[str] = []
+        if not self.graph.is_consistent():
+            issues.append("graph labels are not consistent (duplicate labels)")
+        for term in self.graph.nodes():
+            if self.graph.label(term) != term:
+                issues.append(
+                    f"node id {term!r} disagrees with its label "
+                    f"{self.graph.label(term)!r}"
+                )
+        for code in self.registry.transitive_codes():
+            if code == SEMANTIC_IMPLICATION.code:
+                # SI cycles express equivalence and are legal (§4.1 uses
+                # a two-way SIBridge pair for equivalence).
+                continue
+            try:
+                self.graph.topological_order(labels={code})
+            except Exception:
+                issues.append(f"cycle detected over transitive relation {code!r}")
+        return issues
+
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    def triples(self) -> Iterator[tuple[str, str, str]]:
+        """Iterate relationships as ``(source, relation-code, target)``."""
+        for edge in self.graph.edges():
+            yield (edge.source, edge.label, edge.target)
+
+    # ------------------------------------------------------------------
+    # copies and qualified projection
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Ontology":
+        clone = Ontology(name or self.name, registry=self.registry.copy())
+        clone.graph = self.graph.copy()
+        return clone
+
+    def qualified_graph(self) -> LabeledGraph:
+        """This ontology's graph with node ids qualified as ``name:term``.
+
+        Labels stay unqualified.  This is the projection the union
+        operator and the unified ontology build on, so that identical
+        vocabulary in two sources never collides.
+        """
+        graph = LabeledGraph()
+        for term in self.graph.nodes():
+            graph.add_node(qualify(self.name, term), self.graph.label(term))
+        for edge in self.graph.edges():
+            graph.add_edge(
+                qualify(self.name, edge.source),
+                edge.label,
+                qualify(self.name, edge.target),
+            )
+        return graph
+
+    def subontology(self, terms: Iterable[str], name: str | None = None) -> "Ontology":
+        """The induced sub-ontology over ``terms`` (used by extract/filter)."""
+        wanted = [self._require(t) for t in terms]
+        sub = Ontology(name or self.name, registry=self.registry.copy())
+        sub.graph = self.graph.subgraph(wanted)
+        return sub
+
+    def same_structure(self, other: "Ontology") -> bool:
+        """Structural equality of the two ontology graphs (names ignored)."""
+        return self.graph.same_structure(other.graph)
+
+    def __contains__(self, term: object) -> bool:
+        return isinstance(term, str) and self.graph.has_node(term)
+
+    def __len__(self) -> int:
+        return self.graph.node_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Ontology {self.name!r} terms={self.graph.node_count()} "
+            f"relationships={self.graph.edge_count()}>"
+        )

@@ -1,0 +1,204 @@
+"""Parser for the paper's textual pattern notation (§3).
+
+The paper sketches two textual forms and a bracket convention:
+
+* ``carrier:car:driver`` — a pattern in the *carrier* ontology: a node
+  ``car`` with an outgoing edge to a node ``driver``.  The first
+  segment names the ontology; the remaining segments form a path.
+* ``truck(O: owner, model)`` — a node ``truck`` with attribute edges
+  from ``owner`` and ``model``; the variable ``O`` binds the node
+  matched for ``owner``.  Variables are the capitalized bound terms.
+* ``(curly) brackets to denote hierarchical objects`` —
+  ``truck{owner{name}, model}`` nests attribute structure.
+
+Grammar accepted here (whitespace-insensitive)::
+
+    pattern   := [onto ':'] element
+    element   := term [args | block]
+    args      := '(' arg (',' arg)* ')'
+    arg       := [VAR ':'] element
+    block     := '{' element (',' element)* '}'
+    path      := onto ':' term (':' term)+        # paper's a:b:c form
+
+A leading single segment followed by ``:`` and plain terms (no
+brackets) is parsed as the path form.  Attribute arguments create
+``A``-labeled edges *into* the parent node, matching the direction the
+paper's Fig. 2 draws AttributeOf edges (attribute -> owner).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.patterns import ANY_LABEL, Pattern
+from repro.core.relations import ATTRIBUTE_OF
+from repro.errors import PatternParseError
+
+__all__ = ["parse_pattern", "is_variable_token"]
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_\-]*)|(?P<punct>[(){},:]))"
+)
+
+
+def is_variable_token(token: str) -> bool:
+    """Variables are single-letter or ALL-CAPS identifiers (paper's ``O``)."""
+    return token.isupper()
+
+
+@dataclass
+class _Tokenizer:
+    text: str
+    pos: int = 0
+
+    def peek(self) -> str | None:
+        match = _TOKEN.match(self.text, self.pos)
+        if match is None:
+            return None
+        return match.group("name") or match.group("punct")
+
+    def next(self) -> str | None:
+        match = _TOKEN.match(self.text, self.pos)
+        if match is None:
+            return None
+        self.pos = match.end()
+        return match.group("name") or match.group("punct")
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise PatternParseError(
+                self.text, f"expected {token!r}, found {got!r}"
+            )
+
+    def at_end(self) -> bool:
+        return self.peek() is None and not self.text[self.pos :].strip()
+
+
+class _Parser:
+    """Recursive-descent parser emitting into a single Pattern."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _Tokenizer(text)
+        self.pattern: Pattern | None = None
+        self._counter = 0
+
+    def fresh_id(self) -> str:
+        node_id = f"n{self._counter}"
+        self._counter += 1
+        return node_id
+
+    def parse(self) -> Pattern:
+        first = self.tokens.next()
+        if first is None or first in "(){},:":
+            raise PatternParseError(self.text, "pattern must start with a term")
+
+        ontology: str | None = None
+        if self.tokens.peek() == ":":
+            # Either the path form onto:a:b... or a scoped element
+            # onto:term(...).  Decide after reading the second segment.
+            self.tokens.expect(":")
+            second = self.tokens.next()
+            if second is None or second in "(){},:":
+                raise PatternParseError(self.text, "dangling ':'")
+            ontology = first
+            if self.tokens.peek() == ":":
+                return self._parse_path(ontology, second)
+            self.pattern = Pattern(ontology)
+            self._parse_element_body(second)
+            self._check_done()
+            return self.pattern
+
+        self.pattern = Pattern(None)
+        self._parse_element_body(first)
+        self._check_done()
+        return self.pattern
+
+    def _check_done(self) -> None:
+        if not self.tokens.at_end():
+            raise PatternParseError(
+                self.text, f"unexpected trailing input at offset {self.tokens.pos}"
+            )
+
+    def _parse_path(self, ontology: str, first_term: str) -> Pattern:
+        """The ``onto:a:b:c`` chain form (any-labeled edges)."""
+        terms = [first_term]
+        while self.tokens.peek() == ":":
+            self.tokens.expect(":")
+            term = self.tokens.next()
+            if term is None or term in "(){},:":
+                raise PatternParseError(self.text, "dangling ':' in path")
+            terms.append(term)
+        self._check_done()
+        return Pattern.path(terms, ontology=ontology, edge_label=ANY_LABEL)
+
+    def _parse_element_body(self, term: str, variable: str | None = None) -> str:
+        """Parse ``term [args|block]``; return the created node id."""
+        assert self.pattern is not None
+        node_id = self.fresh_id()
+        self.pattern.add_node(node_id, term, variable)
+        nxt = self.tokens.peek()
+        if nxt == "(":
+            self.tokens.expect("(")
+            self._parse_children(node_id, closing=")")
+        elif nxt == "{":
+            self.tokens.expect("{")
+            self._parse_children(node_id, closing="}")
+        return node_id
+
+    def _parse_children(self, parent_id: str, *, closing: str) -> None:
+        """Parse a comma list of child elements; attach via A edges."""
+        assert self.pattern is not None
+        first = True
+        while True:
+            token = self.tokens.next()
+            if token is None:
+                raise PatternParseError(self.text, f"missing {closing!r}")
+            if token == closing:
+                if not first:
+                    raise PatternParseError(
+                        self.text, f"trailing ',' before {closing!r}"
+                    )
+                return  # allows empty argument lists
+            first = False
+            if token in "(){},:":
+                raise PatternParseError(
+                    self.text, f"unexpected {token!r} in argument list"
+                )
+            variable: str | None = None
+            term = token
+            if is_variable_token(token) and self.tokens.peek() == ":":
+                self.tokens.expect(":")
+                inner = self.tokens.next()
+                if inner is None or inner in "(){},:":
+                    raise PatternParseError(
+                        self.text, f"variable {token!r} missing its term"
+                    )
+                variable = token
+                term = inner
+            child_id = self._parse_element_body(term, variable)
+            # Attribute edges point attribute -> owner, as in Fig. 2.
+            self.pattern.add_edge(child_id, ATTRIBUTE_OF.code, parent_id)
+            token = self.tokens.next()
+            if token == closing:
+                return
+            if token != ",":
+                raise PatternParseError(
+                    self.text, f"expected ',' or {closing!r}, found {token!r}"
+                )
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse the paper's textual pattern notation into a :class:`Pattern`.
+
+    Examples::
+
+        parse_pattern("carrier:car:driver")      # path in carrier
+        parse_pattern("truck(O: owner, model)")  # node with attributes
+        parse_pattern("factory:truck{owner{name}}")  # nested hierarchy
+    """
+    if not text or not text.strip():
+        raise PatternParseError(text, "empty pattern")
+    return _Parser(text).parse()

@@ -1,0 +1,374 @@
+"""Graph patterns and pattern matching (paper §3).
+
+A pattern is itself a small graph.  The paper's strict matching rule is
+a label-preserving graph homomorphism: pattern graph ``G1`` matches
+into ``G2`` iff there is a total mapping ``f`` with
+
+1. ``lambda1(n) = lambda2(f(n))`` for every pattern node ``n``, and
+2. every pattern edge ``(n1, alpha, n2)`` has a counterpart
+   ``(f(n1), alpha, f(n2))``.
+
+On top of the strict rule the paper lets the domain expert relax both
+conditions ("fuzzy matching"): nodes may match through a synonym set,
+and edge labels may be ignored.  :class:`MatchConfig` carries those
+expert choices; :func:`find_matches` implements the backtracking
+search.  Pattern nodes may also be *variables* (unlabeled), which bind
+to any graph node — the textual form ``truck(O: owner, model)`` from
+the paper binds ``O`` this way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.graph import LabeledGraph
+from repro.errors import PatternError
+
+__all__ = [
+    "PatternNode",
+    "PatternEdge",
+    "Pattern",
+    "MatchConfig",
+    "Binding",
+    "find_matches",
+    "matches",
+    "first_match",
+]
+
+# Edge label wildcard inside patterns: matches any edge label.
+ANY_LABEL = "*"
+
+
+@dataclass(frozen=True, slots=True)
+class PatternNode:
+    """One node of a pattern.
+
+    ``label`` is the term the node must match; ``None`` makes the node
+    a wildcard.  ``variable`` names the binding this node produces in
+    match results (wildcards usually carry a variable; labeled nodes
+    may too).
+    """
+
+    node_id: str
+    label: str | None = None
+    variable: str | None = None
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.label is None
+
+
+@dataclass(frozen=True, slots=True)
+class PatternEdge:
+    """One edge of a pattern; label ``*`` matches any edge label."""
+
+    source: str
+    label: str
+    target: str
+
+
+@dataclass(frozen=True, slots=True)
+class Binding:
+    """One successful match: pattern node id -> graph node id.
+
+    ``variables`` projects the mapping down to the named variables, the
+    part queries and rules consume.
+    """
+
+    mapping: Mapping[str, str]
+    variables: Mapping[str, str]
+
+    def __getitem__(self, pattern_node_id: str) -> str:
+        return self.mapping[pattern_node_id]
+
+    def var(self, name: str) -> str:
+        return self.variables[name]
+
+    def matched_nodes(self) -> frozenset[str]:
+        """The set of graph nodes touched by this match."""
+        return frozenset(self.mapping.values())
+
+
+class Pattern:
+    """A pattern graph with optional ontology scope and variables.
+
+    ``ontology`` restricts the pattern to one source (the leading
+    ``carrier:`` in the paper's textual notation); ``None`` means the
+    pattern applies to whatever graph it is matched against.
+    """
+
+    def __init__(self, ontology: str | None = None) -> None:
+        self.ontology = ontology
+        self._nodes: dict[str, PatternNode] = {}
+        self._edges: list[PatternEdge] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: str,
+        label: str | None = None,
+        variable: str | None = None,
+    ) -> PatternNode:
+        if node_id in self._nodes:
+            raise PatternError(f"duplicate pattern node id {node_id!r}")
+        node = PatternNode(node_id, label, variable)
+        self._nodes[node_id] = node
+        return node
+
+    def add_edge(self, source: str, label: str, target: str) -> PatternEdge:
+        for endpoint in (source, target):
+            if endpoint not in self._nodes:
+                raise PatternError(f"pattern edge references unknown node "
+                                   f"{endpoint!r}")
+        if not label:
+            raise PatternError("pattern edge label must be non-empty "
+                               f"(use {ANY_LABEL!r} for a wildcard)")
+        edge = PatternEdge(source, label, target)
+        self._edges.append(edge)
+        return edge
+
+    @classmethod
+    def single(cls, label: str, *, ontology: str | None = None) -> "Pattern":
+        """A one-node pattern matching a single term."""
+        pattern = cls(ontology)
+        pattern.add_node("n0", label)
+        return pattern
+
+    @classmethod
+    def path(
+        cls,
+        labels: Iterable[str],
+        *,
+        ontology: str | None = None,
+        edge_label: str = ANY_LABEL,
+    ) -> "Pattern":
+        """A chain pattern ``l0 -> l1 -> ...`` (the ``a:b:c`` notation)."""
+        pattern = cls(ontology)
+        previous: str | None = None
+        for index, label in enumerate(labels):
+            node_id = f"n{index}"
+            pattern.add_node(node_id, label)
+            if previous is not None:
+                pattern.add_edge(previous, edge_label, node_id)
+            previous = node_id
+        if previous is None:
+            raise PatternError("path pattern needs at least one label")
+        return pattern
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[PatternNode]:
+        return list(self._nodes.values())
+
+    def node(self, node_id: str) -> PatternNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise PatternError(f"no pattern node {node_id!r}") from None
+
+    def edges(self) -> list[PatternEdge]:
+        return list(self._edges)
+
+    def variables(self) -> list[str]:
+        return [n.variable for n in self._nodes.values() if n.variable]
+
+    def node_labels(self) -> set[str]:
+        return {n.label for n in self._nodes.values() if n.label is not None}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        scope = f" ontology={self.ontology!r}" if self.ontology else ""
+        return f"<Pattern nodes={len(self._nodes)} edges={len(self._edges)}{scope}>"
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """Expert-tunable match semantics (paper §3, fuzzy matching).
+
+    * ``synonyms`` — mapping from a term to its accepted alternatives;
+      symmetric closure is applied, so one direction suffices.
+    * ``case_insensitive`` — compare labels case-insensitively.
+    * ``relax_edge_labels`` — drop condition 2's label equality: any
+      edge in the right direction matches.
+    * ``node_equiv`` / ``edge_equiv`` — escape hatches for arbitrary
+      expert-supplied predicates; they run *in addition to* the rules
+      above (a pair matches if any rule accepts it).
+    * ``injective`` — require distinct pattern nodes to map to distinct
+      graph nodes.  The paper's ``f`` is a plain total mapping, so this
+      defaults to False.
+    """
+
+    synonyms: Mapping[str, frozenset[str]] = field(default_factory=dict)
+    case_insensitive: bool = False
+    relax_edge_labels: bool = False
+    node_equiv: Callable[[str, str], bool] | None = None
+    edge_equiv: Callable[[str, str], bool] | None = None
+    injective: bool = False
+
+    @classmethod
+    def strict(cls) -> "MatchConfig":
+        return cls()
+
+    @classmethod
+    def with_synonyms(cls, pairs: Iterable[tuple[str, str]]) -> "MatchConfig":
+        """Build a config from symmetric synonym pairs."""
+        table: dict[str, set[str]] = {}
+        for a, b in pairs:
+            table.setdefault(a, set()).add(b)
+            table.setdefault(b, set()).add(a)
+        frozen = {term: frozenset(alts) for term, alts in table.items()}
+        return cls(synonyms=frozen)
+
+    # -- label comparison ------------------------------------------------
+    def node_labels_match(self, pattern_label: str, graph_label: str) -> bool:
+        if pattern_label == graph_label:
+            return True
+        if self.case_insensitive and pattern_label.lower() == graph_label.lower():
+            return True
+        alts = self.synonyms.get(pattern_label)
+        if alts is not None:
+            if graph_label in alts:
+                return True
+            if self.case_insensitive and any(
+                a.lower() == graph_label.lower() for a in alts
+            ):
+                return True
+        if self.node_equiv is not None and self.node_equiv(
+            pattern_label, graph_label
+        ):
+            return True
+        return False
+
+    def edge_labels_match(self, pattern_label: str, graph_label: str) -> bool:
+        if pattern_label == ANY_LABEL or self.relax_edge_labels:
+            return True
+        if pattern_label == graph_label:
+            return True
+        if self.edge_equiv is not None and self.edge_equiv(
+            pattern_label, graph_label
+        ):
+            return True
+        return False
+
+
+def _candidates(
+    node: PatternNode, graph: LabeledGraph, config: MatchConfig
+) -> list[str]:
+    """Graph nodes that could satisfy condition 1 for ``node``."""
+    if node.is_wildcard:
+        return list(graph.nodes())
+    assert node.label is not None
+    # Fast path: exact label index.
+    found = set(graph.nodes_with_label(node.label))
+    needs_scan = bool(
+        config.case_insensitive or config.synonyms or config.node_equiv
+    )
+    if needs_scan:
+        for label in graph.labels():
+            if label in found:
+                continue
+            if config.node_labels_match(node.label, label):
+                found.update(graph.nodes_with_label(label))
+    return list(found)
+
+
+def find_matches(
+    pattern: Pattern,
+    graph: LabeledGraph,
+    config: MatchConfig | None = None,
+    *,
+    limit: int | None = None,
+) -> Iterator[Binding]:
+    """All mappings of ``pattern`` into ``graph`` under ``config``.
+
+    Backtracking search ordered most-constrained-first: labeled pattern
+    nodes with the fewest candidates are assigned before wildcards, and
+    every partial assignment is checked against the pattern edges whose
+    endpoints are already bound.
+    """
+    config = config or MatchConfig.strict()
+    nodes = pattern.nodes()
+    if not nodes:
+        raise PatternError("cannot match an empty pattern")
+
+    candidate_sets = {
+        n.node_id: _candidates(n, graph, config) for n in nodes
+    }
+    # Most constrained (fewest candidates, then most pattern edges) first.
+    adjacency: dict[str, list[PatternEdge]] = {n.node_id: [] for n in nodes}
+    for edge in pattern.edges():
+        adjacency[edge.source].append(edge)
+        adjacency[edge.target].append(edge)
+    order = sorted(
+        nodes,
+        key=lambda n: (len(candidate_sets[n.node_id]), -len(adjacency[n.node_id])),
+    )
+
+    edges = pattern.edges()
+    assignment: dict[str, str] = {}
+    used: set[str] = set()
+    emitted = 0
+
+    def edge_ok(edge: PatternEdge) -> bool:
+        src = assignment.get(edge.source)
+        dst = assignment.get(edge.target)
+        if src is None or dst is None:
+            return True  # not yet checkable
+        for graph_edge in graph.out_edges(src):
+            if graph_edge.target == dst and config.edge_labels_match(
+                edge.label, graph_edge.label
+            ):
+                return True
+        return False
+
+    def extend(depth: int) -> Iterator[Binding]:
+        nonlocal emitted
+        if depth == len(order):
+            variables = {
+                n.variable: assignment[n.node_id]
+                for n in nodes
+                if n.variable is not None
+            }
+            emitted += 1
+            yield Binding(dict(assignment), variables)
+            return
+        pattern_node = order[depth]
+        for candidate in candidate_sets[pattern_node.node_id]:
+            if config.injective and candidate in used:
+                continue
+            assignment[pattern_node.node_id] = candidate
+            used.add(candidate)
+            if all(
+                edge_ok(e)
+                for e in adjacency[pattern_node.node_id]
+            ):
+                yield from extend(depth + 1)
+                if limit is not None and emitted >= limit:
+                    del assignment[pattern_node.node_id]
+                    used.discard(candidate)
+                    return
+            del assignment[pattern_node.node_id]
+            used.discard(candidate)
+
+    yield from extend(0)
+
+
+def matches(
+    pattern: Pattern, graph: LabeledGraph, config: MatchConfig | None = None
+) -> bool:
+    """True iff the pattern matches into the graph at least once."""
+    return first_match(pattern, graph, config) is not None
+
+
+def first_match(
+    pattern: Pattern, graph: LabeledGraph, config: MatchConfig | None = None
+) -> Binding | None:
+    for binding in find_matches(pattern, graph, config, limit=1):
+        return binding
+    return None

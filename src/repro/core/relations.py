@@ -1,0 +1,186 @@
+"""Semantic relationship vocabulary and per-relationship property rules.
+
+The paper's running example (§2.5) models the relationships
+``SubclassOf``, ``AttributeOf``, ``InstanceOf`` and
+``SemanticImplication`` with edge labels ``S``, ``A``, ``I`` and ``SI``,
+and notes that *"the ontologies are expected to have rules that define
+the properties of each relationship, e.g. ... the transitive nature of
+the SubclassOf relationship. These rules are used by the articulation
+generator and the inference engine"*.
+
+:class:`RelationType` captures one relationship together with its
+logical properties; :class:`RelationRegistry` is the rule book an
+ontology carries around and hands to the inference engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import OntologyError
+
+__all__ = [
+    "RelationType",
+    "RelationRegistry",
+    "SUBCLASS_OF",
+    "ATTRIBUTE_OF",
+    "INSTANCE_OF",
+    "SEMANTIC_IMPLICATION",
+    "SI_BRIDGE",
+    "standard_registry",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RelationType:
+    """One semantic relationship and its logical properties.
+
+    ``name`` is the long form used in prose ("SubclassOf"); ``code`` is
+    the edge label actually stored on graph edges ("S"), matching the
+    paper's figures.  The boolean properties become Horn axioms in the
+    inference engine:
+
+    * ``transitive``  — ``r(x,y), r(y,z) -> r(x,z)``
+    * ``symmetric``   — ``r(x,y) -> r(y,x)``
+    * ``reflexive``   — ``r(x,x)`` for every node
+    * ``implies``     — ``r(x,y) -> r'(x,y)`` for each named relation
+    """
+
+    name: str
+    code: str
+    transitive: bool = False
+    symmetric: bool = False
+    reflexive: bool = False
+    implies: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.code:
+            raise OntologyError("relation name and code must be non-empty")
+
+
+# The paper's standard relationship vocabulary (§2.5, §4.1).
+SUBCLASS_OF = RelationType(
+    "SubclassOf",
+    "S",
+    transitive=True,
+    description="class specialization; transitive (paper §2.5)",
+)
+ATTRIBUTE_OF = RelationType(
+    "AttributeOf",
+    "A",
+    description="property/attribute attachment",
+)
+INSTANCE_OF = RelationType(
+    "InstanceOf",
+    "I",
+    description="object membership in a class",
+)
+SEMANTIC_IMPLICATION = RelationType(
+    "SemanticImplication",
+    "SI",
+    transitive=True,
+    description="P semantically implies Q / directed subset (paper §4.1)",
+)
+# Bridge edges produced by the articulation generator.  They carry the
+# same directed-subset semantics as SI but are kept distinguishable so
+# the algebra can separate articulation structure from source structure.
+SI_BRIDGE = RelationType(
+    "SIBridge",
+    "SIBridge",
+    transitive=False,
+    implies=("SemanticImplication",),
+    description="semantic bridge between a source ontology and an articulation",
+)
+
+
+class RelationRegistry:
+    """The set of relationship types an ontology understands.
+
+    Lookup works by long name *or* by edge code.  Unknown edge labels
+    are allowed on graphs (the paper permits arbitrary verb-labeled
+    relationships); the registry only governs relationships that have
+    declared logical properties.
+    """
+
+    def __init__(self, relations: Iterable[RelationType] = ()) -> None:
+        self._by_name: dict[str, RelationType] = {}
+        self._by_code: dict[str, RelationType] = {}
+        for relation in relations:
+            self.register(relation)
+
+    def register(self, relation: RelationType) -> RelationType:
+        existing = self._by_name.get(relation.name)
+        if existing is not None and existing != relation:
+            raise OntologyError(
+                f"relation {relation.name!r} already registered with "
+                "different properties"
+            )
+        clashing = self._by_code.get(relation.code)
+        if clashing is not None and clashing.name != relation.name:
+            raise OntologyError(
+                f"edge code {relation.code!r} already used by "
+                f"{clashing.name!r}"
+            )
+        self._by_name[relation.name] = relation
+        self._by_code[relation.code] = relation
+        return relation
+
+    def get(self, name_or_code: str) -> RelationType | None:
+        """Resolve by long name first, then by edge code."""
+        return self._by_name.get(name_or_code) or self._by_code.get(name_or_code)
+
+    def require(self, name_or_code: str) -> RelationType:
+        relation = self.get(name_or_code)
+        if relation is None:
+            raise OntologyError(f"unknown relation: {name_or_code!r}")
+        return relation
+
+    def code_for(self, name_or_code: str) -> str:
+        """Normalize a relation reference to the stored edge code."""
+        return self.require(name_or_code).code
+
+    def __contains__(self, name_or_code: str) -> bool:
+        return self.get(name_or_code) is not None
+
+    def __iter__(self) -> Iterator[RelationType]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def transitive_codes(self) -> set[str]:
+        return {r.code for r in self._by_name.values() if r.transitive}
+
+    def symmetric_codes(self) -> set[str]:
+        return {r.code for r in self._by_name.values() if r.symmetric}
+
+    def copy(self) -> "RelationRegistry":
+        return RelationRegistry(self._by_name.values())
+
+    def merged_with(self, other: "RelationRegistry") -> "RelationRegistry":
+        """A registry understanding both vocabularies.
+
+        Raises :class:`OntologyError` when the two registries give the
+        same relationship name conflicting properties — that is a real
+        semantic mismatch an expert must resolve, not something to
+        silently pick a winner for.
+        """
+        merged = self.copy()
+        for relation in other:
+            merged.register(relation)
+        return merged
+
+
+def standard_registry() -> RelationRegistry:
+    """The paper's default relationship vocabulary."""
+    return RelationRegistry(
+        [
+            SUBCLASS_OF,
+            ATTRIBUTE_OF,
+            INSTANCE_OF,
+            SEMANTIC_IMPLICATION,
+            SI_BRIDGE,
+        ]
+    )

@@ -1,0 +1,580 @@
+"""Articulation rules (paper §4.1).
+
+Rules take the form ``P => Q`` — *"the object Q semantically belongs to
+the class P"* / *"P semantically implies Q"* — where the operands range
+from simple qualified terms to conjunctions, disjunctions and cascaded
+multi-term implications.  Functional rules attach a conversion function
+to a bridge (``DGToEuroFn() : carrier:DutchGuilders => transport:Euro``).
+
+This module defines the rule AST, the textual rule syntax, and the
+translation to Horn clauses used by the inference engine.  The
+*graph-level* interpretation of rules (which nodes and edges the
+articulation generator adds) lives in
+:mod:`repro.core.articulation`.
+
+Textual syntax accepted by :func:`parse_rule`::
+
+    carrier:Car => factory:Vehicle
+    carrier:Car => transport:PassengerCar => factory:Vehicle   # cascade
+    (factory:CargoCarrier ^ factory:Vehicle) => carrier:Trucks # conjunction
+    factory:Vehicle => (carrier:Cars | carrier:Trucks)         # disjunction
+    (A ^ B) => C AS NiceName          # override synthesized node label
+    DGToEuroFn() : carrier:DutchGuilders => transport:Euro     # functional
+    PSToEuroFn(x / 0.7111 ; x * 0.7111 ; EuroToPSFn) : \
+        carrier:PoundSterling => transport:Euro   # executable conversion
+
+``^``/``&`` spell conjunction, ``|`` spells disjunction, ``=>`` the
+semantic implication, and ``AS`` renames the class synthesized for a
+compound operand (the paper: the default label "is the predicate text,
+which can be overruled by the user").
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.ontology import split_qualified
+from repro.errors import RuleError, RuleParseError
+
+__all__ = [
+    "TermRef",
+    "Operand",
+    "TermOperand",
+    "AndOperand",
+    "OrOperand",
+    "ImplicationRule",
+    "FunctionalRule",
+    "ArticulationRuleSet",
+    "HornClause",
+    "compile_conversion",
+    "parse_rule",
+    "parse_rules",
+]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TermRef:
+    """A possibly-qualified term reference, e.g. ``carrier:Car``.
+
+    ``ontology`` is ``None`` for unqualified references; the
+    articulation generator resolves those against the articulation
+    ontology itself (rules "are also used to structure ... the
+    articulation ontology graph itself", §4.1).
+    """
+
+    ontology: str | None
+    term: str
+
+    @classmethod
+    def parse(cls, text: str) -> "TermRef":
+        text = text.strip()
+        if not text:
+            raise RuleError("empty term reference")
+        ontology, term = split_qualified(text)
+        if not term:
+            raise RuleError(f"term reference {text!r} has an empty term")
+        return cls(ontology, term)
+
+    def qualified(self, default_ontology: str | None = None) -> str:
+        onto = self.ontology or default_ontology
+        if onto is None:
+            raise RuleError(f"term reference {self.term!r} is unqualified")
+        return f"{onto}:{self.term}"
+
+    def __str__(self) -> str:
+        return f"{self.ontology}:{self.term}" if self.ontology else self.term
+
+
+class Operand:
+    """Base class for rule operands."""
+
+    def terms(self) -> Iterator[TermRef]:
+        raise NotImplementedError
+
+    def default_label(self) -> str:
+        """The label for a node synthesized from this operand."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class TermOperand(Operand):
+    ref: TermRef
+
+    def terms(self) -> Iterator[TermRef]:
+        yield self.ref
+
+    def default_label(self) -> str:
+        return self.ref.term
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True, slots=True)
+class AndOperand(Operand):
+    """Conjunction of terms: matches things belonging to *all* operands."""
+
+    operands: tuple[TermOperand, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise RuleError("conjunction needs at least two operands")
+
+    def terms(self) -> Iterator[TermRef]:
+        for operand in self.operands:
+            yield from operand.terms()
+
+    def default_label(self) -> str:
+        # Paper: CargoCarrier ^ Vehicle synthesizes CargoCarrierVehicle.
+        return "".join(op.ref.term for op in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " ^ ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class OrOperand(Operand):
+    """Disjunction of terms: things belonging to *any* operand."""
+
+    operands: tuple[TermOperand, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise RuleError("disjunction needs at least two operands")
+
+    def terms(self) -> Iterator[TermRef]:
+        for operand in self.operands:
+            yield from operand.terms()
+
+    def default_label(self) -> str:
+        # Paper: Cars | Trucks synthesizes CarsTrucks.
+        return "".join(op.ref.term for op in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class HornClause:
+    """``head :- body``; atoms are ``(predicate, args...)`` tuples.
+
+    The rule layer only ever emits binary ``implies`` atoms over
+    qualified terms, but the clause form is general so the inference
+    engine can mix in relationship axioms.
+    """
+
+    head: tuple[str, ...]
+    body: tuple[tuple[str, ...], ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        head = f"{self.head[0]}({', '.join(self.head[1:])})"
+        if not self.body:
+            return f"{head}."
+        body = ", ".join(f"{b[0]}({', '.join(b[1:])})" for b in self.body)
+        return f"{head} :- {body}."
+
+
+@dataclass(frozen=True)
+class ImplicationRule:
+    """A (possibly cascaded / compound) semantic-implication rule.
+
+    ``steps`` is the cascade ``P0 => P1 => ... => Pk`` with ``k >= 1``;
+    the common case is two steps.  ``label`` overrides the synthesized
+    class name when a compound operand needs a node (``AS`` clause).
+    ``source`` records the rule's provenance ("expert", "skat",
+    "inferred"), which the expert loop uses to rank suggestions.
+    """
+
+    steps: tuple[Operand, ...]
+    label: str | None = None
+    source: str = "expert"
+
+    def __post_init__(self) -> None:
+        if len(self.steps) < 2:
+            raise RuleError("implication rule needs at least two steps")
+        compound = [
+            s for s in self.steps if isinstance(s, (AndOperand, OrOperand))
+        ]
+        if len(compound) > 1:
+            raise RuleError(
+                "at most one compound operand per rule is supported"
+            )
+
+    @property
+    def premise(self) -> Operand:
+        return self.steps[0]
+
+    @property
+    def consequence(self) -> Operand:
+        return self.steps[-1]
+
+    def terms(self) -> Iterator[TermRef]:
+        for step in self.steps:
+            yield from step.terms()
+
+    def ontologies(self) -> set[str]:
+        return {ref.ontology for ref in self.terms() if ref.ontology}
+
+    def is_simple(self) -> bool:
+        """A plain ``O1:A => O2:B`` between two single terms."""
+        return len(self.steps) == 2 and all(
+            isinstance(s, TermOperand) for s in self.steps
+        )
+
+    def atomic_implications(
+        self, articulation: str
+    ) -> list[tuple[str, str]]:
+        """Break the cascade into atomic ``(specific, general)`` pairs.
+
+        The paper: "the notational convenience of multi-term implication
+        is broken down by the inference engine into multiple atomic
+        implicative rules."  Compound operands are represented by the
+        qualified name of their synthesized articulation class.
+        """
+        names: list[str] = []
+        for step in self.steps:
+            if isinstance(step, TermOperand):
+                names.append(step.ref.qualified(articulation))
+            else:
+                label = self.label or step.default_label()
+                names.append(f"{articulation}:{label}")
+        return [(names[i], names[i + 1]) for i in range(len(names) - 1)]
+
+    def to_horn(self, articulation: str) -> list[HornClause]:
+        """Horn form: one ``implies`` fact per atomic implication."""
+        return [
+            HornClause(("implies", specific, general))
+            for specific, general in self.atomic_implications(articulation)
+        ]
+
+    def __str__(self) -> str:
+        text = " => ".join(str(s) for s in self.steps)
+        if self.label:
+            text += f" AS {self.label}"
+        return text
+
+
+@dataclass(frozen=True)
+class FunctionalRule:
+    """A conversion-function bridge (paper §4.1, Functional Rules).
+
+    ``fn`` converts a value expressed in ``source``'s metric into
+    ``target``'s; ``inverse`` (optional) converts back.  The generator
+    adds the edge ``(source, "name()", target)`` and, given an inverse,
+    the reverse edge, mirroring the paper's ``PSToEuroFn``/``EuroToPSFn``
+    pair in Fig. 2.
+
+    ``expr_text`` / ``inverse_expr_text`` record the textual arithmetic
+    bodies when the rule came from (or should round-trip through) the
+    rule language, e.g. ``PSToEuroFn(x / 0.7111 ; x * 0.7111 ;
+    EuroToPSFn) : carrier:PoundSterling => transport:Euro``.
+    """
+
+    name: str
+    source: TermRef
+    target: TermRef
+    fn: Callable[[float], float] | None = None
+    inverse: Callable[[float], float] | None = None
+    inverse_name: str | None = None
+    source_kind: str = "expert"
+    expr_text: str | None = None
+    inverse_expr_text: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RuleError("functional rule needs a function name")
+
+    def edge_label(self) -> str:
+        return f"{self.name}()"
+
+    def inverse_edge_label(self) -> str | None:
+        if self.inverse is None and self.inverse_name is None:
+            return None
+        return f"{self.inverse_name or self._default_inverse_name()}()"
+
+    def _default_inverse_name(self) -> str:
+        return f"{self.name}Inverse"
+
+    def apply(self, value: float) -> float:
+        if self.fn is None:
+            raise RuleError(
+                f"functional rule {self.name!r} has no executable function"
+            )
+        return self.fn(value)
+
+    def apply_inverse(self, value: float) -> float:
+        if self.inverse is None:
+            raise RuleError(
+                f"functional rule {self.name!r} has no inverse function"
+            )
+        return self.inverse(value)
+
+    def __str__(self) -> str:
+        body = ""
+        if self.expr_text:
+            parts = [self.expr_text]
+            if self.inverse_expr_text:
+                parts.append(self.inverse_expr_text)
+                if self.inverse_name:
+                    parts.append(self.inverse_name)
+            body = " ; ".join(parts)
+        return f"{self.name}({body}) : {self.source} => {self.target}"
+
+
+Rule = ImplicationRule | FunctionalRule
+
+
+class ArticulationRuleSet:
+    """An ordered, de-duplicated collection of articulation rules."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._rules: list[Rule] = []
+        self._seen: set[str] = set()
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> bool:
+        """Add a rule; return False if an identical rule is present."""
+        key = str(rule)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._rules.append(rule)
+        return True
+
+    def add_text(self, text: str) -> bool:
+        return self.add(parse_rule(text))
+
+    def extend(self, rules: Iterable[Rule]) -> int:
+        return sum(1 for rule in rules if self.add(rule))
+
+    def implications(self) -> list[ImplicationRule]:
+        return [r for r in self._rules if isinstance(r, ImplicationRule)]
+
+    def functional(self) -> list[FunctionalRule]:
+        return [r for r in self._rules if isinstance(r, FunctionalRule)]
+
+    def ontologies(self) -> set[str]:
+        """Every source ontology the rules mention."""
+        names: set[str] = set()
+        for rule in self._rules:
+            if isinstance(rule, ImplicationRule):
+                names |= rule.ontologies()
+            else:
+                for ref in (rule.source, rule.target):
+                    if ref.ontology:
+                        names.add(ref.ontology)
+        return names
+
+    def to_horn(self, articulation: str) -> list[HornClause]:
+        clauses: list[HornClause] = []
+        for rule in self.implications():
+            clauses.extend(rule.to_horn(articulation))
+        return clauses
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return str(rule) in self._seen
+
+    def copy(self) -> "ArticulationRuleSet":
+        return ArticulationRuleSet(self._rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ArticulationRuleSet rules={len(self._rules)}>"
+
+
+# ----------------------------------------------------------------------
+# textual rule parsing
+# ----------------------------------------------------------------------
+_FUNCTIONAL = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<body>.*)\)\s*:"
+    r"\s*(?P<rest>.+)$",
+    re.DOTALL,
+)
+
+# Node types permitted in functional-rule arithmetic bodies.
+_ALLOWED_EXPR_NODES = (
+    "Expression",
+    "BinOp",
+    "UnaryOp",
+    "Constant",
+    "Name",
+    "Add",
+    "Sub",
+    "Mult",
+    "Div",
+    "Pow",
+    "Mod",
+    "USub",
+    "UAdd",
+    "Load",
+)
+
+
+def compile_conversion(expression: str) -> Callable[[float], float]:
+    """Compile an arithmetic expression over ``x`` into a callable.
+
+    Only literals, ``x`` and ``+ - * / ** %`` are allowed — this is the
+    rule-language form of the paper's expert-supplied normalization
+    functions, safe to load from rule files.
+    """
+    import ast as _ast
+
+    try:
+        tree = _ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise RuleError(
+            f"cannot parse conversion expression {expression!r}: {exc}"
+        ) from exc
+    for node in _ast.walk(tree):
+        kind = type(node).__name__
+        if kind not in _ALLOWED_EXPR_NODES:
+            raise RuleError(
+                f"conversion expression {expression!r} uses unsupported "
+                f"construct {kind}"
+            )
+        if isinstance(node, _ast.Name) and node.id != "x":
+            raise RuleError(
+                f"conversion expression may only reference 'x', "
+                f"found {node.id!r}"
+            )
+        if isinstance(node, _ast.Constant) and not isinstance(
+            node.value, (int, float)
+        ):
+            raise RuleError(
+                f"conversion expression {expression!r} uses a non-numeric "
+                "literal"
+            )
+    code = compile(tree, "<conversion>", "eval")
+
+    def convert(x: float) -> float:
+        return eval(code, {"__builtins__": {}}, {"x": x})  # noqa: S307
+
+    return convert
+_AS_CLAUSE = re.compile(r"\s+AS\s+(?P<label>[A-Za-z_][A-Za-z0-9_\-]*)\s*$")
+
+
+def _parse_operand(text: str, original: str) -> Operand:
+    text = text.strip()
+    if not text:
+        raise RuleParseError(original, "empty operand")
+    if text.startswith("(") and text.endswith(")"):
+        inner = text[1:-1].strip()
+        for symbol, cls in (("^", AndOperand), ("&", AndOperand), ("|", OrOperand)):
+            if symbol in inner:
+                parts = [p.strip() for p in inner.split(symbol)]
+                if any(not p for p in parts):
+                    raise RuleParseError(original, f"empty operand near {symbol!r}")
+                try:
+                    return cls(
+                        tuple(TermOperand(TermRef.parse(p)) for p in parts)
+                    )
+                except RuleError as exc:
+                    raise RuleParseError(original, str(exc)) from exc
+        text = inner  # parenthesized single term
+    if any(symbol in text for symbol in "^&|"):
+        raise RuleParseError(
+            original, "compound operands must be parenthesized"
+        )
+    try:
+        return TermOperand(TermRef.parse(text))
+    except RuleError as exc:
+        raise RuleParseError(original, str(exc)) from exc
+
+
+def parse_rule(text: str, *, source: str = "expert") -> Rule:
+    """Parse one textual rule (see module docstring for the syntax)."""
+    original = text
+    if not text or not text.strip():
+        raise RuleParseError(text, "empty rule")
+    stripped = text.strip()
+
+    functional = _FUNCTIONAL.match(stripped)
+    if functional:
+        rest = functional.group("rest")
+        sides = [s.strip() for s in rest.split("=>")]
+        if len(sides) != 2 or not all(sides):
+            raise RuleParseError(
+                original, "functional rule needs exactly one '=>'"
+            )
+        try:
+            source_ref = TermRef.parse(sides[0])
+            target_ref = TermRef.parse(sides[1])
+        except RuleError as exc:
+            raise RuleParseError(original, str(exc)) from exc
+        body = functional.group("body").strip()
+        fn = inverse = None
+        expr_text = inverse_expr_text = inverse_name = None
+        if body:
+            segments = [seg.strip() for seg in body.split(";")]
+            if len(segments) > 3:
+                raise RuleParseError(
+                    original,
+                    "functional body is 'expr [; inverse_expr "
+                    "[; InverseName]]'",
+                )
+            try:
+                expr_text = segments[0]
+                fn = compile_conversion(expr_text)
+                if len(segments) >= 2:
+                    inverse_expr_text = segments[1]
+                    inverse = compile_conversion(inverse_expr_text)
+                if len(segments) == 3:
+                    inverse_name = segments[2]
+                    if not re.fullmatch(
+                        r"[A-Za-z_][A-Za-z0-9_]*", inverse_name
+                    ):
+                        raise RuleError(
+                            f"invalid inverse name {inverse_name!r}"
+                        )
+            except RuleError as exc:
+                raise RuleParseError(original, str(exc)) from exc
+        return FunctionalRule(
+            functional.group("name"),
+            source_ref,
+            target_ref,
+            fn=fn,
+            inverse=inverse,
+            inverse_name=inverse_name,
+            source_kind=source,
+            expr_text=expr_text,
+            inverse_expr_text=inverse_expr_text,
+        )
+
+    label: str | None = None
+    as_clause = _AS_CLAUSE.search(stripped)
+    if as_clause:
+        label = as_clause.group("label")
+        stripped = stripped[: as_clause.start()]
+
+    sides = [s.strip() for s in stripped.split("=>")]
+    if len(sides) < 2:
+        raise RuleParseError(original, "rule needs at least one '=>'")
+    if any(not s for s in sides):
+        raise RuleParseError(original, "empty rule step")
+    steps = tuple(_parse_operand(s, original) for s in sides)
+    try:
+        return ImplicationRule(steps, label=label, source=source)
+    except RuleError as exc:
+        raise RuleParseError(original, str(exc)) from exc
+
+
+def parse_rules(
+    lines: Iterable[str] | str, *, source: str = "expert"
+) -> ArticulationRuleSet:
+    """Parse many rules; blank lines and ``#`` comments are skipped."""
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    ruleset = ArticulationRuleSet()
+    for line in lines:
+        body = line.split("#", 1)[0].strip()
+        if body:
+            ruleset.add(parse_rule(body, source=source))
+    return ruleset

@@ -1,0 +1,210 @@
+"""Graph transformation primitives NA / ND / EA / ED (paper §3).
+
+The paper defines exactly four primitive operations on ontology
+graphs:
+
+* **NA** — node addition: a node plus its adjacent edges;
+* **ND** — node deletion: a node plus every incident edge;
+* **EA** — edge addition of a set of edges;
+* **ED** — edge deletion of a set of edges.
+
+Each primitive here is a small command object with ``apply`` and
+``invert``.  The articulation generator emits primitives instead of
+mutating graphs directly, which gives us three things the paper's
+architecture needs: a journal of what the articulation did (§2.4 —
+the expert reviews and may roll back), cheap undo when the expert
+rejects a suggestion, and op counts that the maintenance benchmarks
+use as their cost model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.graph import Edge, LabeledGraph
+from repro.errors import GraphError
+
+__all__ = [
+    "NodeAddition",
+    "NodeDeletion",
+    "EdgeAddition",
+    "EdgeDeletion",
+    "Transformation",
+    "TransformLog",
+    "apply_all",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeAddition:
+    """NA: add node ``node_id`` (labeled ``label``) and its adjacent edges.
+
+    Matches the paper: ``M' = M + N`` and ``E' = E + {(N, alpha_i, m_j)}``.
+    Adjacent edges may point either way; endpoints other than the new
+    node must already exist.
+    """
+
+    node_id: str
+    label: str | None = None
+    edges: tuple[Edge, ...] = ()
+
+    def apply(self, graph: LabeledGraph) -> None:
+        graph.add_node(self.node_id, self.label)
+        for edge in self.edges:
+            if self.node_id not in (edge.source, edge.target):
+                raise GraphError(
+                    f"NA edge {edge} is not adjacent to new node {self.node_id!r}"
+                )
+            graph.add_edge(edge.source, edge.label, edge.target)
+
+    def invert(self) -> "NodeDeletion":
+        return NodeDeletion(self.node_id, self.label, self.edges)
+
+    def cost(self) -> int:
+        """Number of elementary graph changes (1 node + its edges)."""
+        return 1 + len(self.edges)
+
+
+@dataclass(frozen=True, slots=True)
+class NodeDeletion:
+    """ND: delete node ``node_id`` and all incident edges.
+
+    ``label`` and ``edges`` record what was removed so the operation
+    can be inverted; they are filled in by :meth:`TransformLog.apply`
+    when not supplied by the caller.
+    """
+
+    node_id: str
+    label: str | None = None
+    edges: tuple[Edge, ...] = ()
+
+    def apply(self, graph: LabeledGraph) -> "NodeDeletion":
+        """Delete the node; return a fully-recorded deletion (for undo)."""
+        label = graph.label(self.node_id)
+        removed = tuple(graph.remove_node(self.node_id))
+        return NodeDeletion(self.node_id, label, removed)
+
+    def invert(self) -> NodeAddition:
+        if self.label is None:
+            raise GraphError(
+                f"cannot invert ND({self.node_id!r}): removal was never applied"
+            )
+        return NodeAddition(self.node_id, self.label, self.edges)
+
+    def cost(self) -> int:
+        return 1 + len(self.edges)
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeAddition:
+    """EA: add a set of edges; all endpoints must already exist.
+
+    ``apply`` returns a copy recording only the edges that were
+    actually new — inverting that copy never deletes an edge that
+    predated the operation.
+    """
+
+    edges: tuple[Edge, ...]
+
+    def apply(self, graph: LabeledGraph) -> "EdgeAddition":
+        added: list[Edge] = []
+        for edge in self.edges:
+            if not graph.has_edge(edge.source, edge.label, edge.target):
+                graph.add_edge(edge.source, edge.label, edge.target)
+                added.append(edge)
+        return EdgeAddition(tuple(added))
+
+    def invert(self) -> "EdgeDeletion":
+        return EdgeDeletion(self.edges)
+
+    def cost(self) -> int:
+        return len(self.edges)
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeDeletion:
+    """ED: remove a set of edges (each must be present)."""
+
+    edges: tuple[Edge, ...]
+
+    def apply(self, graph: LabeledGraph) -> None:
+        for edge in self.edges:
+            graph.remove_edge(edge)
+
+    def invert(self) -> EdgeAddition:
+        return EdgeAddition(self.edges)
+
+    def cost(self) -> int:
+        return len(self.edges)
+
+
+Transformation = NodeAddition | NodeDeletion | EdgeAddition | EdgeDeletion
+
+
+@dataclass
+class TransformLog:
+    """An append-only journal of applied primitives, with undo.
+
+    The log stores the *recorded* form of each primitive (node
+    deletions capture what they removed), so :meth:`undo` and
+    :meth:`rollback` can restore the graph exactly.
+    """
+
+    applied: list[Transformation] = field(default_factory=list)
+
+    def apply(self, graph: LabeledGraph, op: Transformation) -> Transformation:
+        """Apply one primitive to ``graph`` and journal it."""
+        if isinstance(op, (NodeDeletion, EdgeAddition)):
+            recorded: Transformation = op.apply(graph)
+        else:
+            op.apply(graph)
+            recorded = op
+        self.applied.append(recorded)
+        return recorded
+
+    def apply_all(
+        self, graph: LabeledGraph, ops: Iterable[Transformation]
+    ) -> list[Transformation]:
+        return [self.apply(graph, op) for op in ops]
+
+    def undo(self, graph: LabeledGraph) -> Transformation | None:
+        """Undo the most recent primitive; return it, or None if empty."""
+        if not self.applied:
+            return None
+        op = self.applied.pop()
+        op.invert().apply(graph)
+        return op
+
+    def rollback(self, graph: LabeledGraph, *, to: int = 0) -> int:
+        """Undo back to journal position ``to``; return ops undone."""
+        undone = 0
+        while len(self.applied) > to:
+            self.undo(graph)
+            undone += 1
+        return undone
+
+    def total_cost(self) -> int:
+        """Sum of elementary graph changes across the journal.
+
+        This is the work metric the scalability and maintenance
+        benchmarks report, so results do not depend on wall-clock noise.
+        """
+        return sum(op.cost() for op in self.applied)
+
+    def checkpoint(self) -> int:
+        """Current journal position, for later :meth:`rollback`."""
+        return len(self.applied)
+
+    def __len__(self) -> int:
+        return len(self.applied)
+
+    def __iter__(self) -> Iterator[Transformation]:
+        return iter(self.applied)
+
+
+def apply_all(graph: LabeledGraph, ops: Sequence[Transformation]) -> TransformLog:
+    """Apply a batch of primitives to ``graph``; return the journal."""
+    log = TransformLog()
+    log.apply_all(graph, ops)
+    return log

@@ -1,0 +1,170 @@
+"""The unified ontology — a *virtual* composition (paper §2, §5.1).
+
+"It is important to note that the unified ontology is not a physical
+entity but is merely a term coined to facilitate the current
+discourse.  The source ontologies are independently maintained and the
+articulation is the only thing that is physically stored."
+
+:class:`UnifiedOntology` therefore holds references to the source
+ontologies and the articulation, and *computes* the union graph on
+demand.  :meth:`materialize` produces a single physical
+:class:`~repro.core.ontology.Ontology` over qualified term names —
+used by the global-schema baseline and by tests, never by the ONION
+pipeline itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.articulation import Articulation
+from repro.core.graph import LabeledGraph
+from repro.core.ontology import Ontology, qualify, split_qualified
+from repro.core.relations import (
+    SEMANTIC_IMPLICATION,
+    SI_BRIDGE,
+    SUBCLASS_OF,
+)
+from repro.errors import AlgebraError, TermNotFoundError
+
+__all__ = ["UnifiedOntology"]
+
+# Edge labels that carry "directed subset" semantics in the unified
+# graph: local specialization, semantic implication, and bridges.
+_IMPLICATION_LABELS = frozenset(
+    {SUBCLASS_OF.code, SEMANTIC_IMPLICATION.code, SI_BRIDGE.code}
+)
+
+
+class UnifiedOntology:
+    """A virtual union of source ontologies through an articulation."""
+
+    def __init__(self, articulation: Articulation) -> None:
+        self.articulation = articulation
+
+    @property
+    def sources(self) -> dict[str, Ontology]:
+        return self.articulation.sources
+
+    @property
+    def name(self) -> str:
+        return self.articulation.name
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, qualified: str) -> tuple[Ontology, str]:
+        """Resolve ``onto:term`` to its owning ontology and local term."""
+        onto_name, term = split_qualified(qualified)
+        if onto_name is None:
+            raise AlgebraError(
+                f"unified lookup needs a qualified term, got {qualified!r}"
+            )
+        if onto_name == self.articulation.name:
+            owner: Ontology = self.articulation.ontology
+        else:
+            try:
+                owner = self.sources[onto_name]
+            except KeyError:
+                raise TermNotFoundError(term, onto_name) from None
+        if not owner.has_term(term):
+            raise TermNotFoundError(term, onto_name)
+        return owner, term
+
+    def has_term(self, qualified: str) -> bool:
+        try:
+            self.resolve(qualified)
+        except (AlgebraError, TermNotFoundError):
+            return False
+        return True
+
+    def terms(self) -> Iterator[str]:
+        """All qualified terms: every source, then the articulation."""
+        for name, source in self.sources.items():
+            for term in source.terms():
+                yield qualify(name, term)
+        for term in self.articulation.ontology.terms():
+            yield qualify(self.articulation.name, term)
+
+    def term_count(self) -> int:
+        return sum(len(s) for s in self.sources.values()) + len(
+            self.articulation.ontology
+        )
+
+    # ------------------------------------------------------------------
+    # the union graph (computed, never stored)
+    # ------------------------------------------------------------------
+    def graph(self) -> LabeledGraph:
+        """§5.1 union semantics over qualified node ids."""
+        return self.articulation.unified_graph()
+
+    def materialize(self, name: str = "unified") -> Ontology:
+        """Flatten into one physical ontology over qualified term names.
+
+        Qualified ids become the terms of the result, so the output is
+        consistent by construction.  This exists for baselines and
+        tests; ONION itself never materializes the union (§2).
+        """
+        merged = Ontology(name.replace(":", "_"))
+        graph = self.graph()
+        for node in graph.nodes():
+            merged.ensure_term(node.replace(":", "."))
+        for edge in graph.edges():
+            merged.relate(
+                edge.source.replace(":", "."),
+                edge.label,
+                edge.target.replace(":", "."),
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    # semantic navigation across sources
+    # ------------------------------------------------------------------
+    def implies(self, specific: str, general: str) -> bool:
+        """True iff ``specific``'s concept is subsumed by ``general``'s.
+
+        Both arguments are qualified terms; the check walks SubclassOf,
+        SemanticImplication and bridge edges in the unified graph —
+        exactly the reasoning the query processor uses to decide which
+        sources can answer a query term.
+        """
+        self.resolve(specific)
+        self.resolve(general)
+        graph = self.graph()
+        reach = graph.reachable_from(specific, labels=_IMPLICATION_LABELS)
+        return general in reach
+
+    def specializations(self, qualified: str) -> set[str]:
+        """All qualified terms whose concepts imply ``qualified``'s."""
+        self.resolve(qualified)
+        graph = self.graph()
+        return (
+            graph.reachable_from(
+                qualified, labels=_IMPLICATION_LABELS, reverse=True
+            )
+            - {qualified}
+        )
+
+    def generalizations(self, qualified: str) -> set[str]:
+        """All qualified terms implied by ``qualified``."""
+        self.resolve(qualified)
+        graph = self.graph()
+        return graph.reachable_from(qualified, labels=_IMPLICATION_LABELS) - {
+            qualified
+        }
+
+    def equivalents(self, qualified: str) -> set[str]:
+        """Terms mutually implied with ``qualified`` (SI cycles, §4.1)."""
+        self.resolve(qualified)
+        graph = self.graph()
+        forward = graph.reachable_from(qualified, labels=_IMPLICATION_LABELS)
+        backward = graph.reachable_from(
+            qualified, labels=_IMPLICATION_LABELS, reverse=True
+        )
+        return (forward & backward) - {qualified}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<UnifiedOntology articulation={self.articulation.name!r} "
+            f"sources={sorted(self.sources)}>"
+        )

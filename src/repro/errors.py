@@ -1,0 +1,129 @@
+"""Exception hierarchy for the ONION reproduction.
+
+Every error raised by the library derives from :class:`OnionError`, so
+callers can catch one type at the API boundary.  Subclasses are split by
+subsystem to keep ``except`` clauses precise.
+"""
+
+from __future__ import annotations
+
+
+class OnionError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(OnionError):
+    """Structural violation in a labeled graph (missing node, dangling edge)."""
+
+
+class NodeNotFoundError(GraphError):
+    """An operation referenced a node id that is not in the graph."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"node not found: {node_id!r}")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError):
+    """An operation referenced an edge that is not in the graph."""
+
+    def __init__(self, edge: object) -> None:
+        super().__init__(f"edge not found: {edge!r}")
+        self.edge = edge
+
+
+class DuplicateNodeError(GraphError):
+    """A node id was added twice."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"node already exists: {node_id!r}")
+        self.node_id = node_id
+
+
+class OntologyError(OnionError):
+    """Violation of ontology-level invariants (e.g. term consistency)."""
+
+
+class TermNotFoundError(OntologyError):
+    """A referenced term does not exist in the ontology."""
+
+    def __init__(self, term: str, ontology: str | None = None) -> None:
+        where = f" in ontology {ontology!r}" if ontology else ""
+        super().__init__(f"term not found{where}: {term!r}")
+        self.term = term
+        self.ontology = ontology
+
+
+class ConsistencyError(OntologyError):
+    """The ontology is inconsistent: one term maps to several concepts."""
+
+
+class RuleError(OnionError):
+    """Malformed or unresolvable articulation rule."""
+
+
+class RuleParseError(RuleError):
+    """Textual rule could not be parsed."""
+
+    def __init__(self, text: str, reason: str) -> None:
+        super().__init__(f"cannot parse rule {text!r}: {reason}")
+        self.text = text
+        self.reason = reason
+
+
+class PatternError(OnionError):
+    """Malformed graph pattern or pattern expression."""
+
+
+class PatternParseError(PatternError):
+    """Textual pattern could not be parsed."""
+
+    def __init__(self, text: str, reason: str) -> None:
+        super().__init__(f"cannot parse pattern {text!r}: {reason}")
+        self.text = text
+        self.reason = reason
+
+
+class ArticulationError(OnionError):
+    """The articulation generator could not apply a rule set."""
+
+
+class AlgebraError(OnionError):
+    """Invalid operands for an ontology-algebra operation."""
+
+
+class InferenceError(OnionError):
+    """The inference engine hit an unsupported construct or a contradiction."""
+
+
+class ContradictionError(InferenceError):
+    """A logical contradiction was derived (e.g. disjoint classes unified)."""
+
+
+class QueryError(OnionError):
+    """Query subsystem failure."""
+
+
+class QueryParseError(QueryError):
+    """Textual query could not be parsed."""
+
+    def __init__(self, text: str, reason: str) -> None:
+        super().__init__(f"cannot parse query {text!r}: {reason}")
+        self.text = text
+        self.reason = reason
+
+
+class PlanningError(QueryError):
+    """No executable plan could be derived for a query."""
+
+
+class FormatError(OnionError):
+    """External representation could not be read or written."""
+
+
+class KnowledgeBaseError(OnionError):
+    """Instance-level violation in a knowledge base."""
+
+
+class LexiconError(OnionError):
+    """Semantic lexicon failure (unknown synset, malformed entry)."""

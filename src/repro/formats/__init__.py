@@ -1,0 +1,17 @@
+"""Wrappers for external ontology representations (paper §2.1):
+adjacency lists, XML documents, IDL specifications, RDF-style triples,
+and Graphviz DOT export for the viewer."""
+
+from repro.formats import adjacency, dot, idl, rdf, xmlfmt
+from repro.formats.dot import articulation_to_dot, ontology_to_dot, write_dot
+
+__all__ = [
+    "adjacency",
+    "articulation_to_dot",
+    "dot",
+    "idl",
+    "ontology_to_dot",
+    "rdf",
+    "write_dot",
+    "xmlfmt",
+]

@@ -1,0 +1,104 @@
+"""Adjacency-list text format (paper §2.1: "simple adjacency list
+representations" are one of the accepted ontology inputs).
+
+Line syntax::
+
+    ontology <name>            # header, optional (defaults to "ontology")
+    term <Term>                # declare a bare term
+    <Source> -<Label>-> <Target>   # a relationship (declares terms too)
+    # comment
+
+Example::
+
+    ontology carrier
+    Car -S-> Cars
+    Price -A-> Cars
+    MyCar -I-> Cars
+    Car -drivenBy-> Driver
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.ontology import Ontology
+from repro.errors import FormatError
+
+__all__ = ["loads", "dumps", "load", "dump"]
+
+_HEADER = re.compile(r"^ontology\s+(?P<name>\S+)\s*$")
+_TERM = re.compile(r"^term\s+(?P<term>\S+)\s*$")
+_EDGE = re.compile(
+    r"^(?P<source>\S+)\s+-(?P<label>[^-><\s][^>]*?)->\s+(?P<target>\S+)\s*$"
+)
+
+
+def loads(text: str, *, name: str | None = None) -> Ontology:
+    """Parse the adjacency-list format into an ontology.
+
+    ``name`` overrides any ``ontology`` header line.
+    """
+    resolved_name = name
+    pending: list[tuple[int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        header = _HEADER.match(line)
+        if header:
+            if pending:
+                raise FormatError(
+                    f"line {lineno}: ontology header must come first"
+                )
+            if resolved_name is None:
+                resolved_name = header.group("name")
+            continue
+        pending.append((lineno, line))
+
+    onto = Ontology(resolved_name or "ontology")
+    for lineno, line in pending:
+        term_match = _TERM.match(line)
+        if term_match:
+            onto.ensure_term(term_match.group("term"))
+            continue
+        edge_match = _EDGE.match(line)
+        if edge_match:
+            source = edge_match.group("source")
+            target = edge_match.group("target")
+            label = edge_match.group("label").strip()
+            onto.ensure_term(source)
+            onto.ensure_term(target)
+            onto.relate(source, label, target)
+            continue
+        raise FormatError(f"line {lineno}: cannot parse {line!r}")
+    return onto
+
+
+def dumps(ontology: Ontology) -> str:
+    """Serialize an ontology to the adjacency-list format.
+
+    Isolated terms get explicit ``term`` lines so round-trips are exact.
+    """
+    lines = [f"ontology {ontology.name}"]
+    connected: set[str] = set()
+    edges = sorted(
+        ontology.graph.edges(), key=lambda e: (e.source, e.label, e.target)
+    )
+    for edge in edges:
+        connected.add(edge.source)
+        connected.add(edge.target)
+    for term in sorted(ontology.terms()):
+        if term not in connected:
+            lines.append(f"term {term}")
+    for edge in edges:
+        lines.append(f"{edge.source} -{edge.label}-> {edge.target}")
+    return "\n".join(lines) + "\n"
+
+
+def load(path: str | Path, *, name: str | None = None) -> Ontology:
+    return loads(Path(path).read_text(), name=name)
+
+
+def dump(ontology: Ontology, path: str | Path) -> None:
+    Path(path).write_text(dumps(ontology))

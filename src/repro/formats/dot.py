@@ -1,0 +1,106 @@
+"""Graphviz DOT export — the viewer's drawing backend (paper §2.2).
+
+The ONION viewer presents ontology graphs and articulations to the
+expert.  :func:`ontology_to_dot` renders one ontology;
+:func:`articulation_to_dot` renders the whole Fig. 2-style picture:
+each source ontology in its own cluster, the articulation ontology in
+the middle, bridges crossing between clusters (dashed, like the SI
+edges in the paper's figure).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.articulation import Articulation
+from repro.core.ontology import Ontology, qualify, split_qualified
+
+__all__ = ["ontology_to_dot", "articulation_to_dot", "write_dot"]
+
+# Render the standard semantic relationships distinctly.
+_EDGE_STYLE = {
+    "S": 'color="black"',
+    "A": 'color="gray40", arrowhead="open"',
+    "I": 'color="gray40", style="dotted"',
+    "SI": 'color="blue", style="dashed"',
+    "SIBridge": 'color="blue", style="dashed"',
+}
+
+
+def _quote(identifier: str) -> str:
+    escaped = identifier.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _edge_attrs(label: str) -> str:
+    style = _EDGE_STYLE.get(label, 'color="gray25"')
+    return f'[label={_quote(label)}, {style}]'
+
+
+def ontology_to_dot(ontology: Ontology) -> str:
+    """One ontology as a standalone digraph."""
+    lines = [f"digraph {_quote(ontology.name)} {{"]
+    lines.append('  rankdir="BT";')
+    lines.append('  node [shape="box", fontsize=10];')
+    for term in sorted(ontology.terms()):
+        lines.append(f"  {_quote(term)};")
+    for edge in sorted(
+        ontology.graph.edges(), key=lambda e: (e.source, e.label, e.target)
+    ):
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} "
+            f"{_edge_attrs(edge.label)};"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _cluster(name: str, ontology: Ontology, *, index: int) -> list[str]:
+    lines = [f"  subgraph cluster_{index} {{"]
+    lines.append(f"    label={_quote(name)};")
+    lines.append('    style="rounded";')
+    for term in sorted(ontology.terms()):
+        node_id = qualify(name, term)
+        lines.append(f"    {_quote(node_id)} [label={_quote(term)}];")
+    for edge in sorted(
+        ontology.graph.edges(), key=lambda e: (e.source, e.label, e.target)
+    ):
+        lines.append(
+            f"    {_quote(qualify(name, edge.source))} -> "
+            f"{_quote(qualify(name, edge.target))} {_edge_attrs(edge.label)};"
+        )
+    lines.append("  }")
+    return lines
+
+
+def articulation_to_dot(articulation: Articulation) -> str:
+    """The full Fig. 2 picture: source clusters + articulation + bridges."""
+    lines = ["digraph articulation {"]
+    lines.append('  rankdir="BT";')
+    lines.append('  node [shape="box", fontsize=10];')
+    lines.append("  compound=true;")
+    index = 0
+    for name, source in sorted(articulation.sources.items()):
+        lines.extend(_cluster(name, source, index=index))
+        index += 1
+    lines.extend(
+        _cluster(articulation.name, articulation.ontology, index=index)
+    )
+    for edge in sorted(
+        articulation.bridges, key=lambda e: (e.source, e.label, e.target)
+    ):
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} "
+            f"{_edge_attrs(edge.label)};"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(target: Ontology | Articulation, path: str | Path) -> None:
+    """Render either an ontology or a whole articulation to a .dot file."""
+    if isinstance(target, Articulation):
+        text = articulation_to_dot(target)
+    else:
+        text = ontology_to_dot(target)
+    Path(path).write_text(text)

@@ -1,0 +1,149 @@
+"""IDL-style ontology specifications (paper §2.1: "We accept ontologies
+based on IDL specifications").
+
+A pragmatic subset of OMG IDL interface syntax, which is how
+ODMG-flavored sources of the paper's era described their schemas::
+
+    module carrier {
+      interface Transportation {};
+      interface Carrier : Transportation {};
+      interface Cars : Carrier {
+        attribute float price;
+        attribute Person owner;
+      };
+      interface Person {};
+    };
+
+* ``module`` names the ontology (optional; one module per file);
+* each ``interface`` becomes a term;
+* inheritance (``: Base1, Base2``) becomes SubclassOf edges;
+* each ``attribute <type> <name>;`` declares a term for the attribute
+  name (capitalized) with an AttributeOf edge into the interface; when
+  the attribute *type* names another interface, a ``typedAs`` edge
+  records it.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.ontology import Ontology
+from repro.errors import FormatError
+
+__all__ = ["loads", "load", "dumps"]
+
+_MODULE = re.compile(r"module\s+(?P<name>\w+)\s*\{", re.S)
+_INTERFACE = re.compile(
+    r"interface\s+(?P<name>\w+)\s*(?::\s*(?P<bases>[\w\s,]+?))?\s*"
+    r"\{(?P<body>.*?)\}\s*;",
+    re.S,
+)
+_ATTRIBUTE = re.compile(
+    r"attribute\s+(?P<type>\w+)\s+(?P<name>\w+)\s*;"
+)
+_PRIMITIVES = frozenset(
+    {
+        "float",
+        "double",
+        "short",
+        "long",
+        "string",
+        "boolean",
+        "char",
+        "octet",
+        "any",
+        "void",
+        "unsigned",
+    }
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def loads(text: str, *, name: str | None = None) -> Ontology:
+    """Parse an IDL-subset specification into an ontology."""
+    text = _strip_comments(text)
+    module = _MODULE.search(text)
+    onto = Ontology(name or (module.group("name") if module else "ontology"))
+
+    interfaces = list(_INTERFACE.finditer(text))
+    if not interfaces:
+        raise FormatError("no interface declarations found")
+
+    # First pass: declare every interface term so bases can be checked.
+    declared: set[str] = set()
+    for match in interfaces:
+        interface = match.group("name")
+        if interface in declared:
+            raise FormatError(f"duplicate interface {interface!r}")
+        declared.add(interface)
+        onto.ensure_term(interface)
+
+    for match in interfaces:
+        interface = match.group("name")
+        bases = match.group("bases")
+        if bases:
+            for base in (b.strip() for b in bases.split(",")):
+                if not base:
+                    continue
+                if base not in declared:
+                    raise FormatError(
+                        f"interface {interface!r} inherits from undeclared "
+                        f"{base!r}"
+                    )
+                onto.add_subclass(interface, base)
+        for attr in _ATTRIBUTE.finditer(match.group("body")):
+            attr_term = attr.group("name")[0].upper() + attr.group("name")[1:]
+            onto.ensure_term(attr_term)
+            if not onto.graph.has_edge(
+                attr_term, onto.registry.code_for("AttributeOf"), interface
+            ):
+                onto.add_attribute(attr_term, interface)
+            attr_type = attr.group("type")
+            if attr_type not in _PRIMITIVES and attr_type in declared:
+                onto.relate(attr_term, "typedAs", attr_type)
+    return onto
+
+
+def dumps(ontology: Ontology) -> str:
+    """Serialize interfaces + inheritance + attributes back to IDL.
+
+    Relationships outside the S/A vocabulary have no IDL counterpart
+    and are emitted as comments so nothing is silently lost.
+    """
+    s_code = ontology.registry.code_for("SubclassOf")
+    a_code = ontology.registry.code_for("AttributeOf")
+    lines = [f"module {ontology.name} {{"]
+    for term in sorted(ontology.terms()):
+        bases = sorted(ontology.graph.successors(term, s_code))
+        suffix = f" : {', '.join(bases)}" if bases else ""
+        attrs = sorted(ontology.graph.predecessors(term, a_code))
+        if attrs:
+            lines.append(f"  interface {term}{suffix} {{")
+            for attr in attrs:
+                typed = sorted(ontology.graph.successors(attr, "typedAs"))
+                attr_type = typed[0] if typed else "any"
+                lines.append(
+                    f"    attribute {attr_type} {attr[0].lower()}{attr[1:]};"
+                )
+            lines.append("  };")
+        else:
+            lines.append(f"  interface {term}{suffix} {{}};")
+    for edge in sorted(
+        ontology.graph.edges(), key=lambda e: (e.source, e.label, e.target)
+    ):
+        if edge.label not in (s_code, a_code, "typedAs"):
+            lines.append(
+                f"  // relationship: {edge.source} -{edge.label}-> "
+                f"{edge.target}"
+            )
+    lines.append("};")
+    return "\n".join(lines) + "\n"
+
+
+def load(path: str | Path, *, name: str | None = None) -> Ontology:
+    return loads(Path(path).read_text(), name=name)

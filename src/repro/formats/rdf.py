@@ -1,0 +1,135 @@
+"""RDF-style triple format.
+
+The paper cites the RDF model-and-syntax spec [4] as the direction the
+web was taking for explicit semantic context.  This module reads and
+writes a line-oriented N-Triples-like form over the library's
+vocabulary::
+
+    <carrier:Car> <S> <carrier:Cars> .
+    <carrier:Price> <A> <carrier:Cars> .
+
+Subjects/objects are ``ontology:term`` qualified names; predicates are
+edge labels (relation codes or free verbs).  :func:`loads` accepts
+triples for one ontology and checks the qualifier is uniform;
+:func:`loads_graph` reads a mixed-namespace triple set into a raw
+labeled graph (useful for unified-graph snapshots).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.graph import LabeledGraph
+from repro.core.ontology import Ontology, split_qualified
+from repro.errors import FormatError
+
+__all__ = ["loads", "dumps", "load", "dump", "loads_graph", "dumps_graph"]
+
+_TRIPLE = re.compile(
+    r"^<(?P<subject>[^<>]+)>\s+<(?P<predicate>[^<>]+)>\s+"
+    r"<(?P<object>[^<>]+)>\s*\.\s*$"
+)
+
+
+def _parse_triples(text: str) -> list[tuple[str, str, str]]:
+    triples: list[tuple[str, str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _TRIPLE.match(line)
+        if not match:
+            raise FormatError(f"line {lineno}: cannot parse triple {line!r}")
+        triples.append(
+            (
+                match.group("subject"),
+                match.group("predicate"),
+                match.group("object"),
+            )
+        )
+    return triples
+
+
+def loads(text: str, *, name: str | None = None) -> Ontology:
+    """Read triples into one ontology.
+
+    All subjects and objects must share one namespace qualifier (or
+    carry none, in which case ``name`` must be given).
+    """
+    triples = _parse_triples(text)
+    namespaces = set()
+    for subject, _, obj in triples:
+        for entity in (subject, obj):
+            namespace, _term = split_qualified(entity)
+            if namespace is not None:
+                namespaces.add(namespace)
+    if len(namespaces) > 1:
+        raise FormatError(
+            f"triples span multiple namespaces {sorted(namespaces)}; "
+            "use loads_graph for mixed-namespace data"
+        )
+    inferred = next(iter(namespaces)) if namespaces else None
+    onto = Ontology(name or inferred or "ontology")
+
+    def local(entity: str) -> str:
+        namespace, term = split_qualified(entity)
+        return term if namespace is not None else entity
+
+    for subject, predicate, obj in triples:
+        onto.ensure_term(local(subject))
+        onto.ensure_term(local(obj))
+        onto.relate(local(subject), predicate, local(obj))
+    return onto
+
+
+def loads_graph(text: str) -> LabeledGraph:
+    """Read a mixed-namespace triple set as a raw labeled graph."""
+    graph = LabeledGraph()
+    for subject, predicate, obj in _parse_triples(text):
+        for entity in (subject, obj):
+            if not graph.has_node(entity):
+                _namespace, term = split_qualified(entity)
+                graph.add_node(entity, term)
+        graph.add_edge(subject, predicate, obj)
+    return graph
+
+
+def dumps(ontology: Ontology, *, qualified: bool = True) -> str:
+    """Serialize an ontology's relationships as triples.
+
+    Isolated terms are emitted as comment lines; triples cannot carry
+    them, and silently dropping terms would break round-trips.
+    """
+    prefix = f"{ontology.name}:" if qualified else ""
+    lines = []
+    connected: set[str] = set()
+    for edge in sorted(
+        ontology.graph.edges(), key=lambda e: (e.source, e.label, e.target)
+    ):
+        connected.add(edge.source)
+        connected.add(edge.target)
+        lines.append(
+            f"<{prefix}{edge.source}> <{edge.label}> <{prefix}{edge.target}> ."
+        )
+    isolated = sorted(set(ontology.terms()) - connected)
+    header = [f"# isolated-term: {prefix}{term}" for term in isolated]
+    return "\n".join(header + lines) + "\n"
+
+
+def dumps_graph(graph: LabeledGraph) -> str:
+    lines = [
+        f"<{edge.source}> <{edge.label}> <{edge.target}> ."
+        for edge in sorted(
+            graph.edges(), key=lambda e: (e.source, e.label, e.target)
+        )
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def load(path: str | Path, *, name: str | None = None) -> Ontology:
+    return loads(Path(path).read_text(), name=name)
+
+
+def dump(ontology: Ontology, path: str | Path, *, qualified: bool = True) -> None:
+    Path(path).write_text(dumps(ontology, qualified=qualified))

@@ -1,0 +1,134 @@
+"""XML ontology documents (paper §1, §2.1: "We accept ontologies based
+on IDL specifications and XML-based documents").
+
+Two XML shapes are accepted:
+
+1. the library's own flat interchange form::
+
+       <ontology name="carrier">
+         <term name="Car"/>
+         <relationship source="Car" label="S" target="Cars"/>
+       </ontology>
+
+2. a *nested document* form, where element nesting expresses
+   AttributeOf structure — the way a plain XML export of a domain
+   document carries implicit ontology, which §1 argues XML alone cannot
+   disambiguate::
+
+       <carrier>
+         <Cars>
+           <Car><Price/></Car>
+         </Cars>
+       </carrier>
+
+   Child elements become ``SubclassOf`` edges by default; set
+   ``nested_relation="AttributeOf"`` (or any label) to change that.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.core.ontology import Ontology
+from repro.core.relations import SUBCLASS_OF
+from repro.errors import FormatError
+
+__all__ = ["loads", "dumps", "load", "dump", "loads_nested"]
+
+
+def loads(text: str, *, name: str | None = None) -> Ontology:
+    """Parse the flat ``<ontology>`` interchange form."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise FormatError(f"malformed XML: {exc}") from exc
+    if root.tag != "ontology":
+        raise FormatError(
+            f"expected <ontology> root element, found <{root.tag}>"
+        )
+    onto = Ontology(name or root.attrib.get("name", "ontology"))
+    for element in root:
+        if element.tag == "term":
+            term = element.attrib.get("name")
+            if not term:
+                raise FormatError("<term> element missing name attribute")
+            onto.ensure_term(term)
+        elif element.tag == "relationship":
+            missing = [
+                key
+                for key in ("source", "label", "target")
+                if key not in element.attrib
+            ]
+            if missing:
+                raise FormatError(
+                    f"<relationship> missing attribute(s): {missing}"
+                )
+            source = element.attrib["source"]
+            target = element.attrib["target"]
+            onto.ensure_term(source)
+            onto.ensure_term(target)
+            onto.relate(source, element.attrib["label"], target)
+        else:
+            raise FormatError(f"unexpected element <{element.tag}>")
+    return onto
+
+
+def loads_nested(
+    text: str,
+    *,
+    name: str | None = None,
+    nested_relation: str = SUBCLASS_OF.name,
+) -> Ontology:
+    """Parse a nested XML document, deriving structure from nesting.
+
+    The root element names the ontology; each child element becomes a
+    term related to its parent element's term via ``nested_relation``.
+    Repeated elements with the same tag merge into one term (consistent
+    vocabulary).
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise FormatError(f"malformed XML: {exc}") from exc
+    onto = Ontology(name or root.tag)
+
+    def walk(element: ET.Element, parent_term: str | None) -> None:
+        term = element.tag
+        onto.ensure_term(term)
+        if parent_term is not None:
+            if not onto.graph.has_edge(
+                term, onto.registry.code_for(nested_relation), parent_term
+            ):
+                onto.relate(term, nested_relation, parent_term)
+        for child in element:
+            walk(child, term)
+
+    for child in root:
+        walk(child, None)
+    return onto
+
+
+def dumps(ontology: Ontology) -> str:
+    """Serialize to the flat interchange form (round-trips exactly)."""
+    root = ET.Element("ontology", {"name": ontology.name})
+    for term in sorted(ontology.terms()):
+        ET.SubElement(root, "term", {"name": term})
+    for edge in sorted(
+        ontology.graph.edges(), key=lambda e: (e.source, e.label, e.target)
+    ):
+        ET.SubElement(
+            root,
+            "relationship",
+            {"source": edge.source, "label": edge.label, "target": edge.target},
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def load(path: str | Path, *, name: str | None = None) -> Ontology:
+    return loads(Path(path).read_text(), name=name)
+
+
+def dump(ontology: Ontology, path: str | Path) -> None:
+    Path(path).write_text(dumps(ontology))

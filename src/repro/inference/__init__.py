@@ -1,0 +1,23 @@
+"""Inference: Horn-clause engine and ontology-level reasoning (§2.4, §4)."""
+
+from repro.inference.engine import DISJOINT, IMPLIES, OntologyInferenceEngine
+from repro.inference.goal import GoalDirectedEngine
+from repro.inference.horn import (
+    Atom,
+    HornEngine,
+    is_variable,
+    substitute,
+    unify_atom,
+)
+
+__all__ = [
+    "Atom",
+    "DISJOINT",
+    "GoalDirectedEngine",
+    "HornEngine",
+    "IMPLIES",
+    "OntologyInferenceEngine",
+    "is_variable",
+    "substitute",
+    "unify_atom",
+]

@@ -1,0 +1,309 @@
+"""A Horn-clause forward-chaining engine.
+
+The paper (§4.1): "Since inference engines for full first-order systems
+tend not to scale up to large knowledge bases, for performance reasons,
+we envisage that for a lot of applications, we will use simple Horn
+Clauses to represent articulation rules.  The modular design of the
+onion system implies that we can then plug in a much lighter (and
+faster) inference engine."
+
+This module is that lighter engine: a safe-datalog evaluator with
+ground facts, variables written ``?X``, predicate indexing, and both
+naive and semi-naive evaluation (the benchmark ablates the two).
+Derivations are recorded so every inferred fact can be explained back
+to the expert — §2.4 requires the expert to vet what the system
+concluded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.core.rules import HornClause
+from repro.errors import InferenceError
+
+__all__ = ["Atom", "HornEngine", "is_variable", "substitute", "unify_atom"]
+
+Atom = tuple[str, ...]
+"""A predicate application ``(predicate, arg1, ..., argN)``."""
+
+
+def is_variable(symbol: str) -> bool:
+    """Variables are spelled ``?Name``."""
+    return symbol.startswith("?")
+
+
+def is_ground(atom: Atom) -> bool:
+    return not any(is_variable(arg) for arg in atom[1:])
+
+
+def substitute(atom: Atom, binding: Mapping[str, str]) -> Atom:
+    """Apply a variable binding to an atom's arguments."""
+    return (atom[0],) + tuple(
+        binding.get(arg, arg) if is_variable(arg) else arg for arg in atom[1:]
+    )
+
+
+def unify_atom(
+    pattern: Atom, fact: Atom, binding: Mapping[str, str] | None = None
+) -> dict[str, str] | None:
+    """Match a (possibly non-ground) atom against a ground fact.
+
+    Returns the extended binding, or None on mismatch.  ``fact`` must
+    be ground; repeated variables in the pattern must agree.
+    """
+    if pattern[0] != fact[0] or len(pattern) != len(fact):
+        return None
+    result = dict(binding) if binding else {}
+    for pat_arg, fact_arg in zip(pattern[1:], fact[1:]):
+        if is_variable(pat_arg):
+            bound = result.get(pat_arg)
+            if bound is None:
+                result[pat_arg] = fact_arg
+            elif bound != fact_arg:
+                return None
+        elif pat_arg != fact_arg:
+            return None
+    return result
+
+
+def _check_safe(clause: HornClause) -> None:
+    """Safe datalog: every head variable must occur in the body."""
+    body_vars = {
+        arg for atom in clause.body for arg in atom[1:] if is_variable(arg)
+    }
+    for arg in clause.head[1:]:
+        if is_variable(arg) and arg not in body_vars:
+            raise InferenceError(
+                f"unsafe clause: head variable {arg!r} not bound by body "
+                f"in {clause}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Derivation:
+    """Why a fact holds: the clause used and the body facts consumed."""
+
+    clause: HornClause
+    premises: tuple[Atom, ...]
+
+
+class HornEngine:
+    """Forward-chaining evaluation of Horn clauses over ground facts."""
+
+    def __init__(self, *, strategy: str = "seminaive") -> None:
+        if strategy not in ("seminaive", "naive"):
+            raise InferenceError(f"unknown evaluation strategy {strategy!r}")
+        self.strategy = strategy
+        self._facts: set[Atom] = set()
+        self._by_predicate: dict[str, set[Atom]] = defaultdict(set)
+        self._clauses: list[HornClause] = []
+        self._derivations: dict[Atom, Derivation] = {}
+        self._saturated = False
+
+    # ------------------------------------------------------------------
+    # program construction
+    # ------------------------------------------------------------------
+    def add_fact(self, atom: Atom) -> bool:
+        """Add a ground fact; returns False if it was already known."""
+        if not is_ground(atom):
+            raise InferenceError(f"facts must be ground: {atom!r}")
+        if atom in self._facts:
+            return False
+        self._facts.add(atom)
+        self._by_predicate[atom[0]].add(atom)
+        self._saturated = False
+        return True
+
+    def add_facts(self, atoms: Iterable[Atom]) -> int:
+        return sum(1 for atom in atoms if self.add_fact(atom))
+
+    def add_clause(self, clause: HornClause) -> None:
+        if not clause.body:
+            # A bodiless clause is just a fact.
+            self.add_fact(clause.head)
+            return
+        _check_safe(clause)
+        self._clauses.append(clause)
+        self._saturated = False
+
+    def add_clauses(self, clauses: Iterable[HornClause]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def saturate(self, *, max_rounds: int | None = None) -> int:
+        """Run forward chaining to fixpoint; return new facts derived.
+
+        ``max_rounds`` bounds the number of iterations (None = until
+        fixpoint); datalog saturation always terminates because the
+        Herbrand base over the finite constants is finite.
+        """
+        derived_total = 0
+        if self.strategy == "seminaive":
+            derived_total = self._saturate_seminaive(max_rounds)
+        else:
+            derived_total = self._saturate_naive(max_rounds)
+        self._saturated = True
+        return derived_total
+
+    def _match_body(
+        self,
+        body: tuple[Atom, ...],
+        binding: dict[str, str],
+        index: int,
+        *,
+        required: tuple[int, set[Atom]] | None = None,
+    ) -> Iterator[tuple[dict[str, str], tuple[Atom, ...]]]:
+        """Enumerate bindings satisfying ``body[index:]``.
+
+        ``required`` pins one body position to a restricted fact set —
+        the semi-naive delta.  Yields ``(binding, premises)`` pairs.
+        """
+        if index == len(body):
+            yield dict(binding), ()
+            return
+        pattern = substitute(body[index], binding)
+        if required is not None and required[0] == index:
+            pool: Iterable[Atom] = required[1]
+        else:
+            pool = self._by_predicate.get(pattern[0], ())
+        for fact in pool:
+            extended = unify_atom(pattern, fact, binding)
+            if extended is None:
+                continue
+            for final, rest in self._match_body(
+                body, extended, index + 1, required=required
+            ):
+                yield final, (fact,) + rest
+
+    def _fire(
+        self,
+        clause: HornClause,
+        *,
+        required: tuple[int, set[Atom]] | None = None,
+    ) -> list[Atom]:
+        """All new head facts derivable from one clause right now."""
+        new: list[Atom] = []
+        # Materialize matches before inserting: insertion mutates the
+        # per-predicate fact sets the body matcher is iterating over.
+        matches = list(
+            self._match_body(clause.body, {}, 0, required=required)
+        )
+        for binding, premises in matches:
+            head = substitute(clause.head, binding)
+            if head not in self._facts:
+                new.append(head)
+                self._facts.add(head)
+                self._by_predicate[head[0]].add(head)
+                self._derivations.setdefault(
+                    head, Derivation(clause, premises)
+                )
+        return new
+
+    def _saturate_naive(self, max_rounds: int | None) -> int:
+        derived_total = 0
+        rounds = 0
+        while True:
+            rounds += 1
+            new_this_round = 0
+            for clause in self._clauses:
+                new_this_round += len(self._fire(clause))
+            derived_total += new_this_round
+            if new_this_round == 0:
+                break
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+        return derived_total
+
+    def _saturate_seminaive(self, max_rounds: int | None) -> int:
+        # Round 0 treats every existing fact as the delta.
+        delta: dict[str, set[Atom]] = {
+            pred: set(facts) for pred, facts in self._by_predicate.items()
+        }
+        derived_total = 0
+        rounds = 0
+        while delta:
+            rounds += 1
+            new_facts: list[Atom] = []
+            for clause in self._clauses:
+                for index, atom in enumerate(clause.body):
+                    pool = delta.get(atom[0])
+                    if not pool:
+                        continue
+                    new_facts.extend(
+                        self._fire(clause, required=(index, pool))
+                    )
+            derived_total += len(new_facts)
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            delta = defaultdict(set)
+            for fact in new_facts:
+                delta[fact[0]].add(fact)
+            delta = {p: s for p, s in delta.items() if s}
+        return derived_total
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def holds(self, atom: Atom) -> bool:
+        """Is this ground atom derivable?  Saturates lazily."""
+        if not self._saturated:
+            self.saturate()
+        return atom in self._facts
+
+    def query(self, pattern: Atom) -> list[dict[str, str]]:
+        """All bindings of a (possibly non-ground) atom."""
+        if not self._saturated:
+            self.saturate()
+        results: list[dict[str, str]] = []
+        for fact in self._by_predicate.get(pattern[0], ()):
+            binding = unify_atom(pattern, fact)
+            if binding is not None:
+                results.append(binding)
+        return results
+
+    def facts(self, predicate: str | None = None) -> set[Atom]:
+        if not self._saturated:
+            self.saturate()
+        if predicate is None:
+            return set(self._facts)
+        return set(self._by_predicate.get(predicate, ()))
+
+    def explain(self, atom: Atom) -> list[Atom]:
+        """The base facts supporting ``atom`` (transitive premises).
+
+        Base facts explain themselves as a singleton list.  Unknown
+        atoms raise :class:`InferenceError`.
+        """
+        if not self._saturated:
+            self.saturate()
+        if atom not in self._facts:
+            raise InferenceError(f"fact does not hold: {atom!r}")
+        base: list[Atom] = []
+        seen: set[Atom] = set()
+        stack = [atom]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            derivation = self._derivations.get(current)
+            if derivation is None:
+                base.append(current)
+            else:
+                stack.extend(derivation.premises)
+        return base
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<HornEngine facts={len(self._facts)} "
+            f"clauses={len(self._clauses)} strategy={self.strategy}>"
+        )

@@ -1,0 +1,5 @@
+"""Knowledge bases: instance stores behind the source wrappers."""
+
+from repro.kb.instances import Instance, InstanceStore
+
+__all__ = ["Instance", "InstanceStore"]

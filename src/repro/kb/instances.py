@@ -1,0 +1,206 @@
+"""Knowledge bases: instance stores conforming to an ontology.
+
+The paper's architecture (Fig. 1) pairs each source ontology with a
+knowledge base behind a wrapper; queries reformulated by the query
+processor ultimately run against these stores.  An
+:class:`InstanceStore` keeps typed instances with attribute values,
+indexed by class and by attribute value, and answers class queries
+with or without subclass closure (closure uses the ontology's
+SubclassOf structure — the rule book the paper says query answering
+relies on).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.ontology import Ontology
+from repro.errors import KnowledgeBaseError
+
+__all__ = ["Instance", "InstanceStore"]
+
+Value = object
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One object: an id, its class term, and attribute values.
+
+    Attribute keys are stored lowercase — sources capitalize
+    attribute terms differently (``Price`` vs ``price``) and instance
+    data must not care.
+    """
+
+    instance_id: str
+    cls: str
+    attributes: Mapping[str, Value] = field(default_factory=dict)
+
+    def get(self, attribute: str, default: Value | None = None) -> Value | None:
+        return self.attributes.get(attribute.lower(), default)
+
+    def with_attributes(self, updates: Mapping[str, Value]) -> "Instance":
+        merged = dict(self.attributes)
+        merged.update({k.lower(): v for k, v in updates.items()})
+        return Instance(self.instance_id, self.cls, merged)
+
+
+class InstanceStore:
+    """An in-memory instance store validated against one ontology."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        *,
+        strict_attributes: bool = False,
+    ) -> None:
+        """``strict_attributes`` rejects attribute names that are not
+        declared (as AttributeOf terms) on the class or its ancestors."""
+        self.ontology = ontology
+        self.strict_attributes = strict_attributes
+        self._instances: dict[str, Instance] = {}
+        self._by_class: dict[str, set[str]] = defaultdict(set)
+
+    @property
+    def name(self) -> str:
+        return self.ontology.name
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def _declared_attributes(self, cls: str) -> set[str]:
+        terms = {cls} | self.ontology.ancestors(cls)
+        declared: set[str] = set()
+        for term in terms:
+            declared.update(a.lower() for a in self.ontology.attributes(term))
+        return declared
+
+    def add(
+        self,
+        instance_id: str,
+        cls: str,
+        attributes: Mapping[str, Value] | None = None,
+        **kwargs: Value,
+    ) -> Instance:
+        """Add an instance of ``cls``; attribute names are free-form
+        unless the store is strict."""
+        if instance_id in self._instances:
+            raise KnowledgeBaseError(
+                f"duplicate instance id {instance_id!r} in {self.name!r}"
+            )
+        if not self.ontology.has_term(cls):
+            raise KnowledgeBaseError(
+                f"class {cls!r} is not a term of ontology {self.name!r}"
+            )
+        merged: dict[str, Value] = {}
+        for source in (attributes or {}, kwargs):
+            for key, value in source.items():
+                merged[key.lower()] = value
+        if self.strict_attributes:
+            declared = self._declared_attributes(cls)
+            unknown = sorted(set(merged) - declared)
+            if unknown:
+                raise KnowledgeBaseError(
+                    f"attributes {unknown} not declared on {cls!r} "
+                    f"or its ancestors in {self.name!r}"
+                )
+        instance = Instance(instance_id, cls, merged)
+        self._instances[instance_id] = instance
+        self._by_class[cls].add(instance_id)
+        return instance
+
+    def remove(self, instance_id: str) -> Instance:
+        instance = self._instances.pop(instance_id, None)
+        if instance is None:
+            raise KnowledgeBaseError(
+                f"no instance {instance_id!r} in {self.name!r}"
+            )
+        self._by_class[instance.cls].discard(instance_id)
+        return instance
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, instance_id: str) -> Instance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise KnowledgeBaseError(
+                f"no instance {instance_id!r} in {self.name!r}"
+            ) from None
+
+    def __contains__(self, instance_id: object) -> bool:
+        return instance_id in self._instances
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._instances.values())
+
+    def classes(self) -> set[str]:
+        return {cls for cls, ids in self._by_class.items() if ids}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def instances_of(
+        self, cls: str, *, include_subclasses: bool = True
+    ) -> list[Instance]:
+        """Instances of ``cls``; subclass closure follows SubclassOf."""
+        if not self.ontology.has_term(cls):
+            raise KnowledgeBaseError(
+                f"class {cls!r} is not a term of ontology {self.name!r}"
+            )
+        classes = {cls}
+        if include_subclasses:
+            classes |= self.ontology.descendants(cls)
+        result: list[Instance] = []
+        for term in classes:
+            result.extend(
+                self._instances[iid] for iid in self._by_class.get(term, ())
+            )
+        return sorted(result, key=lambda i: i.instance_id)
+
+    def select(
+        self,
+        classes: Iterable[str],
+        predicate: Callable[[Instance], bool] | None = None,
+        *,
+        include_subclasses: bool = True,
+    ) -> list[Instance]:
+        """Union of class queries, optionally filtered; de-duplicated."""
+        seen: dict[str, Instance] = {}
+        for cls in classes:
+            for instance in self.instances_of(
+                cls, include_subclasses=include_subclasses
+            ):
+                if predicate is None or predicate(instance):
+                    seen.setdefault(instance.instance_id, instance)
+        return sorted(seen.values(), key=lambda i: i.instance_id)
+
+    def validate(self) -> list[str]:
+        """Check every instance's class (and, if strict, attributes)."""
+        issues: list[str] = []
+        for instance in self._instances.values():
+            if not self.ontology.has_term(instance.cls):
+                issues.append(
+                    f"instance {instance.instance_id!r} has unknown class "
+                    f"{instance.cls!r}"
+                )
+                continue
+            if self.strict_attributes:
+                declared = self._declared_attributes(instance.cls)
+                unknown = sorted(set(instance.attributes) - declared)
+                if unknown:
+                    issues.append(
+                        f"instance {instance.instance_id!r} carries "
+                        f"undeclared attributes {unknown}"
+                    )
+        return issues
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<InstanceStore {self.name!r} instances={len(self._instances)}>"
+        )

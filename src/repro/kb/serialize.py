@@ -1,0 +1,78 @@
+"""JSON (de)serialization for instance stores.
+
+The CLI and examples need a way to ship instance data next to an
+ontology file.  The payload shape::
+
+    {
+      "ontology": "carrier",
+      "instances": [
+        {"id": "MyCar", "class": "Cars",
+         "attributes": {"price": 2000, "owner": "Gio"}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.ontology import Ontology
+from repro.errors import FormatError
+from repro.kb.instances import InstanceStore
+
+__all__ = ["store_to_dict", "store_from_dict", "load_store", "save_store"]
+
+
+def store_to_dict(store: InstanceStore) -> dict:
+    return {
+        "ontology": store.name,
+        "instances": [
+            {
+                "id": instance.instance_id,
+                "class": instance.cls,
+                "attributes": dict(instance.attributes),
+            }
+            for instance in sorted(store, key=lambda i: i.instance_id)
+        ],
+    }
+
+
+def store_from_dict(
+    payload: dict,
+    ontology: Ontology,
+    *,
+    strict_attributes: bool = False,
+) -> InstanceStore:
+    declared = payload.get("ontology")
+    if declared is not None and declared != ontology.name:
+        raise FormatError(
+            f"instance data is for ontology {declared!r}, "
+            f"got {ontology.name!r}"
+        )
+    store = InstanceStore(ontology, strict_attributes=strict_attributes)
+    for entry in payload.get("instances", ()):
+        missing = [key for key in ("id", "class") if key not in entry]
+        if missing:
+            raise FormatError(f"instance entry missing {missing}: {entry!r}")
+        store.add(entry["id"], entry["class"], entry.get("attributes", {}))
+    return store
+
+
+def load_store(
+    path: str | Path,
+    ontology: Ontology,
+    *,
+    strict_attributes: bool = False,
+) -> InstanceStore:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"malformed instance JSON in {path}: {exc}") from exc
+    return store_from_dict(
+        payload, ontology, strict_attributes=strict_attributes
+    )
+
+
+def save_store(store: InstanceStore, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(store_to_dict(store), indent=2))

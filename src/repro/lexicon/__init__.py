@@ -1,0 +1,53 @@
+"""Semantic lexicon (WordNet substitute), SKAT matchers and the expert loop."""
+
+from repro.lexicon.expert import (
+    AcceptAllPolicy,
+    CallbackPolicy,
+    ExpertDecision,
+    ExpertPolicy,
+    GroundTruthPolicy,
+    InteractivePolicy,
+    MatchCandidate,
+    ReviewedCandidate,
+    ScriptedPolicy,
+    ThresholdPolicy,
+)
+from repro.lexicon.skat import (
+    ExactLabelMatcher,
+    HypernymMatcher,
+    Matcher,
+    SkatEngine,
+    StructuralMatcher,
+    SynonymMatcher,
+    articulate_with_expert,
+)
+from repro.lexicon.wordnet import (
+    MiniWordNet,
+    Synset,
+    normalize_lemma,
+    seed_lexicon,
+)
+
+__all__ = [
+    "AcceptAllPolicy",
+    "CallbackPolicy",
+    "ExactLabelMatcher",
+    "ExpertDecision",
+    "ExpertPolicy",
+    "GroundTruthPolicy",
+    "HypernymMatcher",
+    "InteractivePolicy",
+    "MatchCandidate",
+    "Matcher",
+    "MiniWordNet",
+    "ReviewedCandidate",
+    "ScriptedPolicy",
+    "SkatEngine",
+    "StructuralMatcher",
+    "Synset",
+    "SynonymMatcher",
+    "ThresholdPolicy",
+    "articulate_with_expert",
+    "normalize_lemma",
+    "seed_lexicon",
+]

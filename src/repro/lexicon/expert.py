@@ -1,0 +1,235 @@
+"""The domain expert in the loop (paper §2.2, §2.4).
+
+"Articulation rules are proposed by SKAT ... and verified by the
+expert.  The expert has the final word on the articulation generation."
+
+The paper's expert is a human at a GUI; here the expert is a *policy*
+object so the loop is scriptable and deterministic — the control flow
+(propose, review, apply, iterate) is identical.  An interactive policy
+is provided for actual humans at a terminal.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.rules import ImplicationRule, Rule
+
+__all__ = [
+    "ExpertDecision",
+    "ReviewedCandidate",
+    "MatchCandidate",
+    "ExpertPolicy",
+    "AcceptAllPolicy",
+    "ThresholdPolicy",
+    "GroundTruthPolicy",
+    "ScriptedPolicy",
+    "CallbackPolicy",
+    "InteractivePolicy",
+]
+
+
+class ExpertDecision(enum.Enum):
+    ACCEPT = "accept"
+    REJECT = "reject"
+    MODIFY = "modify"
+
+
+@dataclass(frozen=True)
+class MatchCandidate:
+    """One suggestion from SKAT: a rule, a confidence, and a reason.
+
+    ``score`` is in [0, 1]; ``matcher`` names the heuristic that
+    produced it; ``reason`` is the human-readable justification shown
+    to the expert.
+    """
+
+    rule: Rule
+    score: float
+    matcher: str
+    reason: str = ""
+
+    def key(self) -> str:
+        return str(self.rule)
+
+
+@dataclass(frozen=True)
+class ReviewedCandidate:
+    """A candidate after expert review.
+
+    ``replacement`` carries the corrected rule when the decision is
+    MODIFY ("If the expert suggests modifications or new rules, they
+    are forwarded to SKAT", §2.4).
+    """
+
+    candidate: MatchCandidate
+    decision: ExpertDecision
+    replacement: Rule | None = None
+
+    def accepted_rule(self) -> Rule | None:
+        if self.decision is ExpertDecision.ACCEPT:
+            return self.candidate.rule
+        if self.decision is ExpertDecision.MODIFY:
+            return self.replacement
+        return None
+
+
+class ExpertPolicy:
+    """Reviews a batch of candidates; subclasses implement ``review``."""
+
+    def review(
+        self, candidates: Iterable[MatchCandidate]
+    ) -> list[ReviewedCandidate]:
+        raise NotImplementedError
+
+    def extra_rules(self) -> list[Rule]:
+        """Rules the expert volunteers beyond the suggestions."""
+        return []
+
+
+class AcceptAllPolicy(ExpertPolicy):
+    """Fully automatic: trust every suggestion (the paper's cautionary
+    'automated and perhaps unreliable system' end of the spectrum)."""
+
+    def review(
+        self, candidates: Iterable[MatchCandidate]
+    ) -> list[ReviewedCandidate]:
+        return [
+            ReviewedCandidate(c, ExpertDecision.ACCEPT) for c in candidates
+        ]
+
+
+@dataclass
+class ThresholdPolicy(ExpertPolicy):
+    """Accept suggestions scoring at or above ``threshold``."""
+
+    threshold: float = 0.8
+
+    def review(
+        self, candidates: Iterable[MatchCandidate]
+    ) -> list[ReviewedCandidate]:
+        return [
+            ReviewedCandidate(
+                c,
+                ExpertDecision.ACCEPT
+                if c.score >= self.threshold
+                else ExpertDecision.REJECT,
+            )
+            for c in candidates
+        ]
+
+
+@dataclass
+class GroundTruthPolicy(ExpertPolicy):
+    """Accept exactly the rules in a known-good alignment.
+
+    Used by the SKAT quality benchmark: the synthetic workload knows
+    the true alignment, so this policy plays a perfectly informed
+    expert, and precision/recall of the *suggestions* can be measured
+    against it.
+    """
+
+    truth: frozenset[str]  # rule texts, as produced by str(rule)
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[Rule]) -> "GroundTruthPolicy":
+        return cls(frozenset(str(rule) for rule in rules))
+
+    def review(
+        self, candidates: Iterable[MatchCandidate]
+    ) -> list[ReviewedCandidate]:
+        return [
+            ReviewedCandidate(
+                c,
+                ExpertDecision.ACCEPT
+                if c.key() in self.truth
+                else ExpertDecision.REJECT,
+            )
+            for c in candidates
+        ]
+
+
+@dataclass
+class ScriptedPolicy(ExpertPolicy):
+    """Decisions scripted per rule text; unknown rules use ``default``.
+
+    ``modifications`` maps a rule text to its replacement rule.
+    ``volunteered`` rules are injected on the first review round.
+    """
+
+    decisions: Mapping[str, ExpertDecision] = field(default_factory=dict)
+    modifications: Mapping[str, Rule] = field(default_factory=dict)
+    default: ExpertDecision = ExpertDecision.REJECT
+    volunteered: tuple[Rule, ...] = ()
+    _volunteered_spent: bool = field(default=False, repr=False)
+
+    def review(
+        self, candidates: Iterable[MatchCandidate]
+    ) -> list[ReviewedCandidate]:
+        reviewed = []
+        for candidate in candidates:
+            decision = self.decisions.get(candidate.key(), self.default)
+            replacement = None
+            if decision is ExpertDecision.MODIFY:
+                replacement = self.modifications.get(candidate.key())
+                if replacement is None:
+                    decision = ExpertDecision.REJECT
+            reviewed.append(
+                ReviewedCandidate(candidate, decision, replacement)
+            )
+        return reviewed
+
+    def extra_rules(self) -> list[Rule]:
+        if self._volunteered_spent:
+            return []
+        object.__setattr__(self, "_volunteered_spent", True)
+        return list(self.volunteered)
+
+
+@dataclass
+class CallbackPolicy(ExpertPolicy):
+    """Delegate each decision to a callable — handy in tests."""
+
+    callback: Callable[[MatchCandidate], ExpertDecision]
+
+    def review(
+        self, candidates: Iterable[MatchCandidate]
+    ) -> list[ReviewedCandidate]:
+        return [
+            ReviewedCandidate(c, self.callback(c)) for c in candidates
+        ]
+
+
+class InteractivePolicy(ExpertPolicy):
+    """A human at the terminal: y / n / m(odify) per suggestion."""
+
+    def review(
+        self, candidates: Iterable[MatchCandidate]
+    ) -> list[ReviewedCandidate]:  # pragma: no cover - interactive
+        from repro.core.rules import parse_rule
+
+        reviewed: list[ReviewedCandidate] = []
+        for candidate in candidates:
+            print(
+                f"suggest [{candidate.score:.2f} {candidate.matcher}] "
+                f"{candidate.rule}   ({candidate.reason})"
+            )
+            answer = input("accept? [y/n/m] ").strip().lower()
+            if answer == "y":
+                reviewed.append(
+                    ReviewedCandidate(candidate, ExpertDecision.ACCEPT)
+                )
+            elif answer == "m":
+                replacement = parse_rule(input("replacement rule: "))
+                reviewed.append(
+                    ReviewedCandidate(
+                        candidate, ExpertDecision.MODIFY, replacement
+                    )
+                )
+            else:
+                reviewed.append(
+                    ReviewedCandidate(candidate, ExpertDecision.REJECT)
+                )
+        return reviewed

@@ -1,0 +1,380 @@
+"""SKAT — the Semantic Knowledge Articulation Tool (paper §2.4).
+
+"Articulation rules are proposed by SKAT using expert rules and other
+external knowledge sources or semantic lexicons (e.g., Wordnet) and
+verified by the expert. ... This process is iteratively repeated until
+the expert is satisfied with the generated articulation."
+
+:class:`SkatEngine` runs a pipeline of *matchers* over two source
+ontologies.  Each matcher proposes scored rule candidates:
+
+* :class:`ExactLabelMatcher`      — identical normalized labels;
+* :class:`SynonymMatcher`         — labels sharing a lexicon synset;
+* :class:`HypernymMatcher`        — lexicon says one term specializes
+  the other (produces a *directed* rule);
+* :class:`StructuralMatcher`      — unmatched label pairs whose graph
+  neighborhoods align with already-proposed pairs.
+
+:func:`articulate_with_expert` is the full §2.4 loop: propose → expert
+review → generate → infer → propose again, to fixpoint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.articulation import Articulation, ArticulationGenerator
+from repro.core.ontology import Ontology
+from repro.core.rules import (
+    ArticulationRuleSet,
+    ImplicationRule,
+    Rule,
+    TermOperand,
+    TermRef,
+)
+from repro.inference.engine import OntologyInferenceEngine
+from repro.lexicon.expert import (
+    ExpertPolicy,
+    MatchCandidate,
+    ReviewedCandidate,
+)
+from repro.lexicon.wordnet import MiniWordNet, normalize_lemma, seed_lexicon
+
+__all__ = [
+    "Matcher",
+    "ExactLabelMatcher",
+    "SynonymMatcher",
+    "HypernymMatcher",
+    "StructuralMatcher",
+    "SkatEngine",
+    "articulate_with_expert",
+]
+
+
+def _simple_rule(
+    o1: str, t1: str, o2: str, t2: str, *, source: str = "skat"
+) -> ImplicationRule:
+    return ImplicationRule(
+        (TermOperand(TermRef(o1, t1)), TermOperand(TermRef(o2, t2))),
+        source=source,
+    )
+
+
+def _equivalence_rules(
+    o1: str, t1: str, o2: str, t2: str
+) -> list[ImplicationRule]:
+    """Equivalence is two directed rules (SI cycles express it, §4.1)."""
+    return [
+        _simple_rule(o1, t1, o2, t2),
+        _simple_rule(o2, t2, o1, t1),
+    ]
+
+
+class Matcher:
+    """One heuristic proposing candidates between two ontologies."""
+
+    name = "matcher"
+
+    def propose(
+        self, o1: Ontology, o2: Ontology
+    ) -> list[MatchCandidate]:
+        raise NotImplementedError
+
+
+class ExactLabelMatcher(Matcher):
+    """Identical normalized labels suggest equivalent concepts."""
+
+    name = "exact"
+
+    def __init__(self, *, score: float = 0.95) -> None:
+        self.score = score
+
+    def propose(self, o1: Ontology, o2: Ontology) -> list[MatchCandidate]:
+        by_norm: dict[str, list[str]] = {}
+        for term in o2.terms():
+            by_norm.setdefault(normalize_lemma(term), []).append(term)
+        candidates: list[MatchCandidate] = []
+        for term1 in o1.terms():
+            for term2 in by_norm.get(normalize_lemma(term1), ()):
+                for rule in _equivalence_rules(o1.name, term1, o2.name, term2):
+                    candidates.append(
+                        MatchCandidate(
+                            rule,
+                            self.score,
+                            self.name,
+                            f"labels {term1!r} / {term2!r} normalize "
+                            "identically",
+                        )
+                    )
+        return candidates
+
+
+class SynonymMatcher(Matcher):
+    """Labels sharing a lexicon synset suggest equivalent concepts."""
+
+    name = "synonym"
+
+    def __init__(
+        self, lexicon: MiniWordNet | None = None, *, score: float = 0.85
+    ) -> None:
+        self.lexicon = lexicon if lexicon is not None else seed_lexicon()
+        self.score = score
+
+    def propose(self, o1: Ontology, o2: Ontology) -> list[MatchCandidate]:
+        candidates: list[MatchCandidate] = []
+        terms2 = list(o2.terms())
+        for term1 in o1.terms():
+            if not self.lexicon.knows(term1):
+                continue
+            for term2 in terms2:
+                if normalize_lemma(term1) == normalize_lemma(term2):
+                    continue  # the exact matcher owns this pair
+                if self.lexicon.are_synonyms(term1, term2):
+                    for rule in _equivalence_rules(
+                        o1.name, term1, o2.name, term2
+                    ):
+                        candidates.append(
+                            MatchCandidate(
+                                rule,
+                                self.score,
+                                self.name,
+                                f"{term1!r} and {term2!r} share a synset",
+                            )
+                        )
+        return candidates
+
+
+class HypernymMatcher(Matcher):
+    """Lexicon hypernymy suggests a *directed* specialization rule.
+
+    ``o1:Car => o2:Vehicle`` when the lexicon derives car from vehicle.
+    The score decays with hypernym distance — a grandparent is a weaker
+    suggestion than a parent.
+    """
+
+    name = "hypernym"
+
+    def __init__(
+        self,
+        lexicon: MiniWordNet | None = None,
+        *,
+        base_score: float = 0.75,
+    ) -> None:
+        self.lexicon = lexicon if lexicon is not None else seed_lexicon()
+        self.base_score = base_score
+
+    def propose(self, o1: Ontology, o2: Ontology) -> list[MatchCandidate]:
+        candidates: list[MatchCandidate] = []
+        terms1 = [t for t in o1.terms() if self.lexicon.knows(t)]
+        terms2 = [t for t in o2.terms() if self.lexicon.knows(t)]
+        for term1 in terms1:
+            for term2 in terms2:
+                if self.lexicon.are_synonyms(term1, term2):
+                    continue
+                if self.lexicon.is_hyponym_of(term1, term2):
+                    similarity = self.lexicon.similarity(term1, term2)
+                    candidates.append(
+                        MatchCandidate(
+                            _simple_rule(o1.name, term1, o2.name, term2),
+                            self.base_score * max(similarity, 0.5),
+                            self.name,
+                            f"lexicon derives {term1!r} from {term2!r}",
+                        )
+                    )
+                elif self.lexicon.is_hyponym_of(term2, term1):
+                    similarity = self.lexicon.similarity(term1, term2)
+                    candidates.append(
+                        MatchCandidate(
+                            _simple_rule(o2.name, term2, o1.name, term1),
+                            self.base_score * max(similarity, 0.5),
+                            self.name,
+                            f"lexicon derives {term2!r} from {term1!r}",
+                        )
+                    )
+        return candidates
+
+
+class StructuralMatcher(Matcher):
+    """Neighborhood agreement proposes pairs the lexicon cannot see.
+
+    Two unmatched terms whose graph neighbors are largely matched to
+    each other probably denote the same concept (the classic similarity
+    -flooding intuition, scaled down).  Runs over the candidates of the
+    lexical matchers, so it must be placed after them in the pipeline.
+    """
+
+    name = "structural"
+
+    def __init__(
+        self,
+        seeds: Sequence[Matcher] | None = None,
+        *,
+        min_overlap: float = 0.5,
+        score: float = 0.6,
+    ) -> None:
+        self.seeds = list(seeds) if seeds is not None else [
+            ExactLabelMatcher(),
+            SynonymMatcher(),
+        ]
+        self.min_overlap = min_overlap
+        self.score = score
+
+    @staticmethod
+    def _neighbors(ontology: Ontology, term: str) -> set[str]:
+        graph = ontology.graph
+        return graph.successors(term) | graph.predecessors(term)
+
+    def propose(self, o1: Ontology, o2: Ontology) -> list[MatchCandidate]:
+        anchor_pairs: set[tuple[str, str]] = set()
+        for seed in self.seeds:
+            for candidate in seed.propose(o1, o2):
+                rule = candidate.rule
+                if isinstance(rule, ImplicationRule) and rule.is_simple():
+                    first, last = rule.steps[0], rule.steps[-1]
+                    assert isinstance(first, TermOperand)
+                    assert isinstance(last, TermOperand)
+                    if (
+                        first.ref.ontology == o1.name
+                        and last.ref.ontology == o2.name
+                    ):
+                        anchor_pairs.add((first.ref.term, last.ref.term))
+                    elif (
+                        first.ref.ontology == o2.name
+                        and last.ref.ontology == o1.name
+                    ):
+                        anchor_pairs.add((last.ref.term, first.ref.term))
+        matched1 = {a for a, _ in anchor_pairs}
+        matched2 = {b for _, b in anchor_pairs}
+
+        candidates: list[MatchCandidate] = []
+        for term1 in o1.terms():
+            if term1 in matched1:
+                continue
+            neigh1 = self._neighbors(o1, term1)
+            if not neigh1:
+                continue
+            for term2 in o2.terms():
+                if term2 in matched2:
+                    continue
+                neigh2 = self._neighbors(o2, term2)
+                if not neigh2:
+                    continue
+                aligned = sum(
+                    1
+                    for a, b in anchor_pairs
+                    if a in neigh1 and b in neigh2
+                )
+                overlap = aligned / min(len(neigh1), len(neigh2))
+                if overlap >= self.min_overlap:
+                    for rule in _equivalence_rules(
+                        o1.name, term1, o2.name, term2
+                    ):
+                        candidates.append(
+                            MatchCandidate(
+                                rule,
+                                self.score * overlap,
+                                self.name,
+                                f"{aligned} aligned neighbor pair(s) "
+                                f"around {term1!r} / {term2!r}",
+                            )
+                        )
+        return candidates
+
+
+@dataclass
+class SkatEngine:
+    """The suggestion pipeline: run matchers, dedup, rank."""
+
+    matchers: list[Matcher] = field(default_factory=list)
+
+    @classmethod
+    def default(cls, lexicon: MiniWordNet | None = None) -> "SkatEngine":
+        lexicon = lexicon if lexicon is not None else seed_lexicon()
+        lexical = [
+            ExactLabelMatcher(),
+            SynonymMatcher(lexicon),
+            HypernymMatcher(lexicon),
+        ]
+        return cls(
+            matchers=[
+                *lexical,
+                StructuralMatcher(seeds=lexical[:2]),
+            ]
+        )
+
+    def propose(
+        self,
+        o1: Ontology,
+        o2: Ontology,
+        *,
+        exclude: Iterable[Rule] = (),
+    ) -> list[MatchCandidate]:
+        """Ranked, de-duplicated candidates, minus ``exclude`` rules."""
+        excluded = {str(rule) for rule in exclude}
+        best: dict[str, MatchCandidate] = {}
+        for matcher in self.matchers:
+            for candidate in matcher.propose(o1, o2):
+                key = candidate.key()
+                if key in excluded:
+                    continue
+                current = best.get(key)
+                if current is None or candidate.score > current.score:
+                    best[key] = candidate
+        return sorted(best.values(), key=lambda c: (-c.score, c.key()))
+
+
+def articulate_with_expert(
+    o1: Ontology,
+    o2: Ontology,
+    expert: ExpertPolicy,
+    *,
+    skat: SkatEngine | None = None,
+    name: str = "articulation",
+    max_rounds: int = 10,
+    use_inference: bool = True,
+) -> tuple[Articulation, list[ReviewedCandidate]]:
+    """The full §2.4 loop; returns the articulation and the audit trail.
+
+    Each round: SKAT proposes (excluding rules already applied), the
+    expert reviews, accepted rules extend the articulation, and the
+    inference engine derives further rule suggestions from the combined
+    knowledge.  Stops when a round applies nothing new.
+    """
+    skat = skat if skat is not None else SkatEngine.default()
+    generator = ArticulationGenerator([o1, o2], name=name)
+    articulation = generator.generate(ArticulationRuleSet())
+    audit: list[ReviewedCandidate] = []
+
+    volunteered = ArticulationRuleSet()
+    volunteered.extend(expert.extra_rules())
+    generator.extend(articulation, volunteered)
+
+    for _ in range(max_rounds):
+        candidates = skat.propose(o1, o2, exclude=list(articulation.rules))
+        if use_inference and len(articulation.rules):
+            engine = OntologyInferenceEngine.from_articulation(articulation)
+            for derived in engine.derived_rules():
+                if derived not in articulation.rules:
+                    candidates.append(
+                        MatchCandidate(
+                            derived,
+                            0.7,
+                            "inference",
+                            "derived from accepted rules and source "
+                            "structure",
+                        )
+                    )
+        if not candidates:
+            break
+        reviewed = expert.review(candidates)
+        audit.extend(reviewed)
+        accepted = ArticulationRuleSet()
+        for review in reviewed:
+            rule = review.accepted_rule()
+            if rule is not None:
+                accepted.add(rule)
+        applied = generator.extend(articulation, accepted)
+        if applied == 0:
+            break
+    return articulation, audit

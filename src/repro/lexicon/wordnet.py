@@ -1,0 +1,392 @@
+"""A miniature WordNet-style semantic lexicon.
+
+The paper's SKAT uses "external knowledge sources or semantic lexicons
+(e.g., Wordnet)" to propose articulation rules.  WordNet itself is not
+shippable here, so :class:`MiniWordNet` implements the slice of it SKAT
+actually consumes: synsets (synonym sets) linked by hypernymy, with
+lemma lookup, synonym/hypernym queries and a path-based similarity.
+:func:`seed_lexicon` provides a hand-built vocabulary that covers the
+paper's transportation/commerce running example and the synthetic
+workloads; custom lexicons load from simple dict payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import LexiconError
+
+__all__ = ["Synset", "MiniWordNet", "normalize_lemma", "seed_lexicon"]
+
+_SEPARATORS = re.compile(r"[\s_\-]+")
+_CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def normalize_lemma(term: str) -> str:
+    """Canonical lemma form: lowercase, separators and camel-case folded.
+
+    ``PassengerCar``, ``passenger_car`` and ``passenger car`` all map
+    to ``passengercar`` so ontology labels written in different styles
+    still meet in the lexicon.
+    """
+    decamel = _CAMEL.sub(" ", term)
+    return _SEPARATORS.sub("", decamel.strip().lower())
+
+
+@dataclass(frozen=True, slots=True)
+class Synset:
+    """A set of synonymous lemmas plus hypernym links to other synsets."""
+
+    synset_id: str
+    lemmas: tuple[str, ...]
+    hypernyms: tuple[str, ...] = ()
+    gloss: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.lemmas:
+            raise LexiconError(f"synset {self.synset_id!r} has no lemmas")
+
+
+class MiniWordNet:
+    """In-memory synset store with hypernym navigation."""
+
+    def __init__(self, synsets: Iterable[Synset] = ()) -> None:
+        self._synsets: dict[str, Synset] = {}
+        self._by_lemma: dict[str, set[str]] = {}
+        for synset in synsets:
+            self.add(synset)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, synset: Synset) -> Synset:
+        if synset.synset_id in self._synsets:
+            raise LexiconError(f"duplicate synset id {synset.synset_id!r}")
+        self._synsets[synset.synset_id] = synset
+        for lemma in synset.lemmas:
+            self._by_lemma.setdefault(normalize_lemma(lemma), set()).add(
+                synset.synset_id
+            )
+        return synset
+
+    def add_synset(
+        self,
+        synset_id: str,
+        lemmas: Iterable[str],
+        *,
+        hypernyms: Iterable[str] = (),
+        gloss: str = "",
+    ) -> Synset:
+        return self.add(
+            Synset(synset_id, tuple(lemmas), tuple(hypernyms), gloss)
+        )
+
+    def validate(self) -> list[str]:
+        """Report dangling hypernym references."""
+        issues = []
+        for synset in self._synsets.values():
+            for hypernym in synset.hypernyms:
+                if hypernym not in self._synsets:
+                    issues.append(
+                        f"synset {synset.synset_id!r} references missing "
+                        f"hypernym {hypernym!r}"
+                    )
+        return issues
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def synset(self, synset_id: str) -> Synset:
+        try:
+            return self._synsets[synset_id]
+        except KeyError:
+            raise LexiconError(f"unknown synset {synset_id!r}") from None
+
+    def synsets_for(self, term: str) -> list[Synset]:
+        ids = self._by_lemma.get(normalize_lemma(term), ())
+        return [self._synsets[sid] for sid in sorted(ids)]
+
+    def knows(self, term: str) -> bool:
+        return normalize_lemma(term) in self._by_lemma
+
+    def synonyms(self, term: str) -> set[str]:
+        """All lemmas sharing a synset with ``term`` (excluding itself)."""
+        norm = normalize_lemma(term)
+        result: set[str] = set()
+        for synset in self.synsets_for(term):
+            result.update(synset.lemmas)
+        return {
+            lemma for lemma in result if normalize_lemma(lemma) != norm
+        }
+
+    def are_synonyms(self, term_a: str, term_b: str) -> bool:
+        ids_a = self._by_lemma.get(normalize_lemma(term_a), set())
+        ids_b = self._by_lemma.get(normalize_lemma(term_b), set())
+        return bool(ids_a & ids_b)
+
+    # ------------------------------------------------------------------
+    # hypernymy
+    # ------------------------------------------------------------------
+    def hypernym_closure(self, synset_id: str) -> set[str]:
+        """All ancestors of a synset (excluding itself)."""
+        self.synset(synset_id)
+        seen: set[str] = set()
+        frontier = deque([synset_id])
+        while frontier:
+            current = frontier.popleft()
+            for parent in self._synsets[current].hypernyms:
+                if parent in self._synsets and parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return seen
+
+    def is_hyponym_of(self, specific: str, general: str) -> bool:
+        """True iff some synset of ``specific`` descends from one of
+        ``general`` (strict: synonymy does not count)."""
+        general_ids = {
+            s.synset_id for s in self.synsets_for(general)
+        }
+        if not general_ids:
+            return False
+        for synset in self.synsets_for(specific):
+            if self.hypernym_closure(synset.synset_id) & general_ids:
+                return True
+        return False
+
+    def _depth(self, synset_id: str) -> int:
+        closure = self.hypernym_closure(synset_id)
+        return len(closure)
+
+    def similarity(self, term_a: str, term_b: str) -> float:
+        """Wu-Palmer-style similarity in [0, 1]; 0 when unrelated.
+
+        ``2 * depth(lcs) / (depth(a) + depth(b))`` over the hypernym
+        DAG, maximized across the synsets of each term.  Synonyms score
+        1.0.
+        """
+        if normalize_lemma(term_a) == normalize_lemma(term_b):
+            return 1.0
+        if self.are_synonyms(term_a, term_b):
+            return 1.0
+        best = 0.0
+        for sa in self.synsets_for(term_a):
+            closure_a = self.hypernym_closure(sa.synset_id) | {sa.synset_id}
+            depth_a = self._depth(sa.synset_id) + 1
+            for sb in self.synsets_for(term_b):
+                closure_b = self.hypernym_closure(sb.synset_id) | {
+                    sb.synset_id
+                }
+                depth_b = self._depth(sb.synset_id) + 1
+                common = closure_a & closure_b
+                if not common:
+                    continue
+                lcs_depth = max(self._depth(c) + 1 for c in common)
+                score = 2.0 * lcs_depth / (depth_a + depth_b)
+                best = max(best, score)
+        return min(best, 1.0)
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "synsets": [
+                {
+                    "id": s.synset_id,
+                    "lemmas": list(s.lemmas),
+                    "hypernyms": list(s.hypernyms),
+                    "gloss": s.gloss,
+                }
+                for s in self._synsets.values()
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MiniWordNet":
+        lexicon = cls()
+        for entry in payload.get("synsets", ()):
+            lexicon.add_synset(
+                entry["id"],
+                entry["lemmas"],
+                hypernyms=entry.get("hypernyms", ()),
+                gloss=entry.get("gloss", ""),
+            )
+        issues = lexicon.validate()
+        if issues:
+            raise LexiconError("; ".join(issues))
+        return lexicon
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MiniWordNet":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __len__(self) -> int:
+        return len(self._synsets)
+
+    def __iter__(self) -> Iterator[Synset]:
+        return iter(self._synsets.values())
+
+
+def seed_lexicon() -> MiniWordNet:
+    """The built-in vocabulary: transportation, commerce, currency.
+
+    Covers every term in the paper's Fig. 2 running example plus the
+    vocabulary the synthetic workload generator draws from, arranged
+    under a small upper ontology (entity > object > ...).
+    """
+    lex = MiniWordNet()
+    add = lex.add_synset
+
+    add("entity.n.01", ["entity", "thing"])
+    add("object.n.01", ["object", "physical object"], hypernyms=["entity.n.01"])
+    add(
+        "artifact.n.01",
+        ["artifact", "artefact"],
+        hypernyms=["object.n.01"],
+    )
+    add(
+        "conveyance.n.01",
+        ["conveyance", "transport", "transportation"],
+        hypernyms=["artifact.n.01"],
+        gloss="something that serves as a means of transportation",
+    )
+    add(
+        "vehicle.n.01",
+        ["vehicle"],
+        hypernyms=["conveyance.n.01"],
+    )
+    add(
+        "wheeled_vehicle.n.01",
+        ["wheeled vehicle"],
+        hypernyms=["vehicle.n.01"],
+    )
+    add(
+        "motor_vehicle.n.01",
+        ["motor vehicle", "automotive vehicle"],
+        hypernyms=["wheeled_vehicle.n.01"],
+    )
+    add(
+        "car.n.01",
+        ["car", "auto", "automobile", "motorcar", "passenger car", "cars"],
+        hypernyms=["motor_vehicle.n.01"],
+    )
+    add(
+        "truck.n.01",
+        ["truck", "lorry", "trucks", "goods vehicle", "cargo vehicle"],
+        hypernyms=["motor_vehicle.n.01"],
+    )
+    add(
+        "suv.n.01",
+        ["SUV", "sport utility vehicle", "off-roader"],
+        hypernyms=["car.n.01"],
+    )
+    add(
+        "van.n.01",
+        ["van", "minivan"],
+        hypernyms=["motor_vehicle.n.01"],
+    )
+    add(
+        "bicycle.n.01",
+        ["bicycle", "bike", "cycle"],
+        hypernyms=["wheeled_vehicle.n.01"],
+    )
+    add(
+        "carrier.n.01",
+        ["carrier", "transporter", "cargo carrier", "hauler"],
+        hypernyms=["conveyance.n.01"],
+    )
+    add(
+        "ship.n.01",
+        ["ship", "vessel"],
+        hypernyms=["vehicle.n.01"],
+    )
+    add(
+        "airplane.n.01",
+        ["airplane", "aeroplane", "plane", "aircraft"],
+        hypernyms=["vehicle.n.01"],
+    )
+
+    add("person.n.01", ["person", "individual", "human", "someone"],
+        hypernyms=["entity.n.01"])
+    add(
+        "owner.n.01",
+        ["owner", "possessor", "proprietor", "holder"],
+        hypernyms=["person.n.01"],
+    )
+    add(
+        "driver.n.01",
+        ["driver", "motorist", "operator"],
+        hypernyms=["person.n.01"],
+    )
+    add(
+        "buyer.n.01",
+        ["buyer", "purchaser", "vendee", "customer"],
+        hypernyms=["person.n.01"],
+    )
+    add(
+        "seller.n.01",
+        ["seller", "vendor", "merchant"],
+        hypernyms=["person.n.01"],
+    )
+
+    add("attribute.n.01", ["attribute", "property"], hypernyms=["entity.n.01"])
+    add(
+        "price.n.01",
+        ["price", "cost", "terms", "damage"],
+        hypernyms=["attribute.n.01"],
+    )
+    add(
+        "weight.n.01",
+        ["weight", "mass", "heaviness"],
+        hypernyms=["attribute.n.01"],
+    )
+    add(
+        "model.n.01",
+        ["model", "version", "variant"],
+        hypernyms=["attribute.n.01"],
+    )
+    add(
+        "capacity.n.01",
+        ["capacity", "volume"],
+        hypernyms=["attribute.n.01"],
+    )
+
+    add("goods.n.01", ["goods", "cargo", "freight", "merchandise", "payload"],
+        hypernyms=["object.n.01"])
+    add(
+        "factory.n.01",
+        ["factory", "plant", "works", "mill", "manufactory"],
+        hypernyms=["artifact.n.01"],
+    )
+    add(
+        "warehouse.n.01",
+        ["warehouse", "depot", "storehouse"],
+        hypernyms=["artifact.n.01"],
+    )
+
+    add("money.n.01", ["money", "currency"], hypernyms=["entity.n.01"])
+    add("euro.n.01", ["euro", "EUR"], hypernyms=["money.n.01"])
+    add(
+        "guilder.n.01",
+        ["guilder", "gulden", "florin", "Dutch guilder", "DutchGuilders"],
+        hypernyms=["money.n.01"],
+    )
+    add(
+        "sterling.n.01",
+        ["pound sterling", "sterling", "GBP", "quid", "PoundSterling"],
+        hypernyms=["money.n.01"],
+    )
+    add("dollar.n.01", ["dollar", "USD", "buck"], hypernyms=["money.n.01"])
+
+    issues = lex.validate()
+    if issues:  # pragma: no cover - seed data is static
+        raise LexiconError("; ".join(issues))
+    return lex

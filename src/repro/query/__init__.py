@@ -1,0 +1,51 @@
+"""The ONION query system: AST, parser, reformulation across bridges,
+planner/executor, wrappers and answering-using-views (paper §2.3)."""
+
+from repro.query.ast import Aggregate, Condition, Query
+from repro.query.engine import (
+    ExecutionPlan,
+    QueryEngine,
+    ResultRow,
+    finalize_rows,
+)
+from repro.query.mediator import (
+    MediatorClass,
+    MediatorSpec,
+    generate_mediator,
+)
+from repro.query.pushdown import push_condition, pushable, source_predicate
+from repro.query.parser import parse_query
+from repro.query.reformulate import Conversion, SourcePlan, reformulate
+from repro.query.views import MaterializedView, ViewCatalog
+from repro.query.wrappers import (
+    CallableWrapper,
+    InstanceStoreWrapper,
+    SourceWrapper,
+    as_wrapper,
+)
+
+__all__ = [
+    "Aggregate",
+    "CallableWrapper",
+    "Condition",
+    "Conversion",
+    "ExecutionPlan",
+    "InstanceStoreWrapper",
+    "MaterializedView",
+    "MediatorClass",
+    "MediatorSpec",
+    "Query",
+    "QueryEngine",
+    "ResultRow",
+    "SourcePlan",
+    "SourceWrapper",
+    "ViewCatalog",
+    "as_wrapper",
+    "finalize_rows",
+    "generate_mediator",
+    "parse_query",
+    "push_condition",
+    "pushable",
+    "reformulate",
+    "source_predicate",
+]

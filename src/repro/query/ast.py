@@ -1,0 +1,208 @@
+"""Query AST (paper §2.3).
+
+A query is phrased in terms of one ontology — usually an articulation
+ontology — and asks for instances of a class, projecting attributes
+and filtering on attribute predicates::
+
+    SELECT price, model FROM transport:Vehicle WHERE price < 10000
+
+The query system reformulates this against every source bridged into
+``transport:Vehicle``, converting attribute values through functional
+rules (Pound Sterling / Dutch Guilders into Euro) before predicates
+are evaluated — the paper's normalization-function story.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.rules import TermRef
+from repro.errors import QueryError
+
+__all__ = ["Aggregate", "Condition", "Query", "OPERATORS", "AGGREGATE_FNS"]
+
+OPERATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _avg(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+AGGREGATE_FNS: dict[str, Callable[[list], object]] = {
+    "count": len,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "avg": _avg,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """``FN(attribute)`` in a projection; ``count`` accepts ``*``.
+
+    Aggregation runs *after* reformulation and value conversion, so a
+    ``MIN(price)`` over ``transport:Vehicle`` compares Euro against
+    Euro even though the sources store Pound Sterling and Guilders.
+    """
+
+    fn: str
+    attribute: str  # "*" only for count
+
+    def __post_init__(self) -> None:
+        if self.fn not in AGGREGATE_FNS:
+            raise QueryError(f"unsupported aggregate {self.fn!r}")
+        object.__setattr__(self, "attribute", self.attribute.lower()
+                           if self.attribute != "*" else "*")
+        if self.attribute == "*" and self.fn != "count":
+            raise QueryError(f"{self.fn}(*) is not defined; only count(*)")
+
+    def label(self) -> str:
+        return f"{self.fn}({self.attribute})"
+
+    def compute(self, values: list[object]) -> object:
+        """Apply over non-null values; empty input yields 0 for count,
+        None otherwise."""
+        if self.fn == "count":
+            if self.attribute == "*":
+                return len(values)
+            return sum(1 for v in values if v is not None)
+        numeric = [
+            v for v in values
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        if not numeric:
+            return None
+        return AGGREGATE_FNS[self.fn](numeric)
+
+    def __str__(self) -> str:
+        return f"{self.fn.upper()}({self.attribute})"
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """One predicate ``attribute op value``; attribute names are
+    case-insensitive (stored lowercase)."""
+
+    attribute: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise QueryError(f"unsupported operator {self.op!r}")
+        object.__setattr__(self, "attribute", self.attribute.lower())
+
+    def evaluate(self, value: object) -> bool:
+        """Apply the predicate; missing (None) values never satisfy it."""
+        if value is None:
+            return False
+        try:
+            return OPERATORS[self.op](value, self.value)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """``SELECT ... FROM target [WHERE ...] [ORDER BY ...] [LIMIT n]``.
+
+    ``target`` is a qualified class reference; an empty ``select``
+    with no ``aggregates`` means "all attributes".
+    ``include_subclasses`` extends each source-side class query down
+    its local SubclassOf hierarchy.  ``order_by`` entries are
+    ``(attribute, descending)``; ordering happens after value
+    conversion, so cross-source results sort in one metric.
+    """
+
+    target: TermRef
+    select: tuple[str, ...] = ()
+    where: tuple[Condition, ...] = ()
+    include_subclasses: bool = True
+    aggregates: tuple[Aggregate, ...] = ()
+    order_by: tuple[tuple[str, bool], ...] = ()
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.target.ontology is None:
+            raise QueryError(
+                f"query target {self.target.term!r} must be qualified "
+                "(ontology:Term)"
+            )
+        if self.select and self.aggregates:
+            raise QueryError(
+                "a query projects either attributes or aggregates, not both"
+            )
+        if self.limit is not None and self.limit < 0:
+            raise QueryError("LIMIT must be non-negative")
+        object.__setattr__(
+            self, "select", tuple(attr.lower() for attr in self.select)
+        )
+        object.__setattr__(
+            self,
+            "order_by",
+            tuple((attr.lower(), desc) for attr, desc in self.order_by),
+        )
+
+    @classmethod
+    def over(
+        cls,
+        target: str,
+        *,
+        select: Iterable[str] = (),
+        where: Iterable[Condition] = (),
+        include_subclasses: bool = True,
+        aggregates: Iterable[Aggregate] = (),
+        order_by: Iterable[tuple[str, bool]] = (),
+        limit: int | None = None,
+    ) -> "Query":
+        """Convenience constructor from a qualified target string."""
+        return cls(
+            TermRef.parse(target),
+            tuple(select),
+            tuple(where),
+            include_subclasses,
+            tuple(aggregates),
+            tuple(order_by),
+            limit,
+        )
+
+    def attributes_needed(self) -> set[str]:
+        """Every attribute the executor must fetch."""
+        needed = set(self.select) | {c.attribute for c in self.where}
+        needed |= {attr for attr, _ in self.order_by}
+        needed |= {
+            agg.attribute for agg in self.aggregates if agg.attribute != "*"
+        }
+        return needed
+
+    def __str__(self) -> str:
+        if self.aggregates:
+            projection = ", ".join(str(a) for a in self.aggregates)
+        else:
+            projection = ", ".join(self.select) if self.select else "*"
+        text = f"SELECT {projection} FROM {self.target}"
+        if self.where:
+            text += " WHERE " + " AND ".join(str(c) for c in self.where)
+        if self.order_by:
+            parts = [
+                f"{attr} DESC" if desc else attr
+                for attr, desc in self.order_by
+            ]
+            text += " ORDER BY " + ", ".join(parts)
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        return text

@@ -1,0 +1,179 @@
+"""Textual query parser.
+
+Grammar (case-insensitive keywords, whitespace-tolerant)::
+
+    query      := SELECT projection FROM target [WHERE conditions]
+                  [ORDER BY ordering] [LIMIT n]
+    projection := '*' | attr (',' attr)* | aggregate (',' aggregate)*
+    aggregate  := (COUNT|MIN|MAX|SUM|AVG) '(' (attr|'*') ')'
+    target     := NAME ':' NAME            # qualified class
+    conditions := condition (AND condition)*
+    condition  := attr OP literal
+    OP         := = | == | != | < | <= | > | >=
+    ordering   := attr [ASC|DESC] (',' attr [ASC|DESC])*
+    literal    := number | 'single-quoted string' | "double-quoted" | word
+
+Examples::
+
+    SELECT * FROM transport:Vehicle
+    SELECT price, model FROM transport:Vehicle WHERE price < 10000
+    SELECT owner FROM carrier:Trucks WHERE model = 'T800' AND price >= 5
+    SELECT price FROM transport:Vehicle ORDER BY price DESC LIMIT 3
+    SELECT COUNT(*), AVG(price) FROM transport:Vehicle
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.rules import TermRef
+from repro.errors import QueryError, QueryParseError
+from repro.query.ast import AGGREGATE_FNS, OPERATORS, Aggregate, Condition, Query
+
+__all__ = ["parse_query"]
+
+_QUERY = re.compile(
+    r"^\s*SELECT\s+(?P<projection>.+?)\s+FROM\s+(?P<target>[^\s;]+)"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?"
+    r"(?:\s+ORDER\s+BY\s+(?P<order>.+?))?"
+    r"(?:\s+LIMIT\s+(?P<limit>\d+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_AGGREGATE = re.compile(
+    r"^(?P<fn>[A-Za-z]+)\s*\(\s*(?P<attr>\*|[A-Za-z_][A-Za-z0-9_]*)\s*\)$"
+)
+_CONDITION = re.compile(
+    r"^\s*(?P<attr>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?P<op>==|!=|<=|>=|=|<|>)\s*(?P<value>.+?)\s*$"
+)
+_AND_SPLIT = re.compile(r"\s+AND\s+", re.IGNORECASE)
+
+
+def _parse_literal(text: str, original: str) -> object:
+    text = text.strip()
+    if not text:
+        raise QueryParseError(original, "empty literal")
+    if (text[0] == text[-1]) and text[0] in "'\"" and len(text) >= 2:
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    # Bare words are string literals (model = T800).
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_\-]*", text):
+        return text
+    raise QueryParseError(original, f"cannot parse literal {text!r}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse one textual query into a :class:`~repro.query.ast.Query`."""
+    if not text or not text.strip():
+        raise QueryParseError(text, "empty query")
+    match = _QUERY.match(text)
+    if not match:
+        raise QueryParseError(
+            text, "expected SELECT ... FROM ... [WHERE ...]"
+        )
+
+    projection_text = match.group("projection").strip()
+    select: tuple[str, ...] = ()
+    aggregates: tuple[Aggregate, ...] = ()
+    if projection_text != "*":
+        parts = [p.strip() for p in projection_text.split(",")]
+        if any(not p for p in parts):
+            raise QueryParseError(text, "empty attribute in projection")
+        agg_matches = [_AGGREGATE.match(p) for p in parts]
+        if any(agg_matches):
+            if not all(agg_matches):
+                raise QueryParseError(
+                    text, "cannot mix aggregates and plain attributes"
+                )
+            collected = []
+            for agg in agg_matches:
+                assert agg is not None
+                fn = agg.group("fn").lower()
+                if fn not in AGGREGATE_FNS:
+                    raise QueryParseError(
+                        text, f"unsupported aggregate {fn!r}"
+                    )
+                try:
+                    collected.append(Aggregate(fn, agg.group("attr")))
+                except QueryError as exc:
+                    raise QueryParseError(text, str(exc)) from exc
+            aggregates = tuple(collected)
+        else:
+            for part in parts:
+                if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", part):
+                    raise QueryParseError(
+                        text, f"invalid projection attribute {part!r}"
+                    )
+            select = tuple(parts)
+
+    target_text = match.group("target")
+    if ":" not in target_text:
+        raise QueryParseError(
+            text,
+            f"target {target_text!r} must be qualified as ontology:Term",
+        )
+    target = TermRef.parse(target_text)
+
+    conditions: list[Condition] = []
+    where_text = match.group("where")
+    if where_text:
+        for chunk in _AND_SPLIT.split(where_text):
+            cond_match = _CONDITION.match(chunk)
+            if not cond_match:
+                raise QueryParseError(
+                    text, f"cannot parse condition {chunk.strip()!r}"
+                )
+            op = cond_match.group("op")
+            if op not in OPERATORS:  # pragma: no cover - regex guards this
+                raise QueryParseError(text, f"unsupported operator {op!r}")
+            conditions.append(
+                Condition(
+                    cond_match.group("attr"),
+                    op,
+                    _parse_literal(cond_match.group("value"), text),
+                )
+            )
+
+    order_by: list[tuple[str, bool]] = []
+    order_text = match.group("order")
+    if order_text:
+        for chunk in order_text.split(","):
+            chunk = chunk.strip()
+            descending = False
+            upper = chunk.upper()
+            if upper.endswith(" DESC"):
+                descending = True
+                chunk = chunk[: -len(" DESC")].strip()
+            elif upper.endswith(" ASC"):
+                chunk = chunk[: -len(" ASC")].strip()
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", chunk):
+                raise QueryParseError(
+                    text, f"invalid ORDER BY attribute {chunk!r}"
+                )
+            order_by.append((chunk, descending))
+
+    limit_text = match.group("limit")
+    limit = int(limit_text) if limit_text is not None else None
+
+    try:
+        return Query(
+            target,
+            select,
+            tuple(conditions),
+            True,
+            aggregates,
+            tuple(order_by),
+            limit,
+        )
+    except QueryError as exc:
+        raise QueryParseError(text, str(exc)) from exc

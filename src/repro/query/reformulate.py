@@ -1,0 +1,291 @@
+"""Query reformulation across the articulation (paper §2.3, §2.6).
+
+"Interoperation of ontologies forms the basis for querying their
+semantically meaningful intersection ... a traditional query engine
+takes a query phrased in terms of an articulation ontology and derives
+an execution plan against the sources involved.  Given the semantic
+bridges, however, query reformulation is often required."
+
+Two jobs happen here:
+
+1. **Class fan-out** — find, for every source, the local class terms
+   whose concepts imply the query's target class (following SubclassOf,
+   SemanticImplication and bridge edges through the unified graph).
+2. **Value normalization** — find, per attribute, a chain of functional
+   bridges converting the source's metric into the target ontology's
+   (Pound Sterling -> Euro, or Dutch Guilders -> Euro -> Pound Sterling
+   when the query targets the carrier), and compose the conversion
+   functions along it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.articulation import Articulation
+from repro.core.graph import LabeledGraph
+from repro.core.ontology import Ontology, qualify, split_qualified
+from repro.core.relations import ATTRIBUTE_OF
+from repro.core.rules import FunctionalRule
+from repro.core.unified import UnifiedOntology
+from repro.errors import PlanningError, QueryError
+from repro.query.ast import Query
+
+__all__ = ["Conversion", "SourcePlan", "reformulate"]
+
+
+@dataclass(frozen=True)
+class Conversion:
+    """A composed chain of functional bridges for one attribute.
+
+    ``chain`` converts left to right: value in the source's metric in,
+    value in the target ontology's metric out.
+    """
+
+    attribute: str
+    unit_from: str  # qualified unit term at the source
+    unit_to: str  # qualified unit term at the target
+    chain: tuple[FunctionalRule, ...]
+
+    def apply(self, value: object) -> object:
+        """Convert numeric values; leave everything else untouched."""
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return value
+        result = float(value)
+        for rule in self.chain:
+            result = rule.apply(result)
+        return result
+
+    @property
+    def invertible(self) -> bool:
+        return all(rule.inverse is not None for rule in self.chain)
+
+    def apply_inverse(self, value: float) -> float:
+        """Map a target-metric value back into the source's metric."""
+        result = float(value)
+        for rule in reversed(self.chain):
+            result = rule.apply_inverse(result)
+        return result
+
+    def is_increasing(self) -> bool:
+        """Probe the composed function's direction (conversions are
+        monotone bijections — unit changes — so two samples suffice)."""
+        return self.apply(2.0) > self.apply(1.0)  # type: ignore[operator]
+
+    def describe(self) -> str:
+        names = " . ".join(rule.name for rule in self.chain)
+        return f"{self.attribute}: {self.unit_from} -[{names}]-> {self.unit_to}"
+
+
+@dataclass(frozen=True)
+class SourcePlan:
+    """The reformulated query for one source.
+
+    ``classes`` are local class terms to scan (each expanded down the
+    source's own SubclassOf hierarchy when the query asks for subclass
+    closure); ``conversions`` normalize attribute values *before*
+    predicates run, so WHERE clauses are evaluated in the target
+    ontology's metric.
+    """
+
+    source: str
+    classes: tuple[str, ...]
+    conversions: Mapping[str, Conversion] = field(default_factory=dict)
+
+    def convert(self, attribute: str, value: object) -> object:
+        conversion = self.conversions.get(attribute.lower())
+        return conversion.apply(value) if conversion else value
+
+
+def _ontology_for(
+    unified: UnifiedOntology, name: str
+) -> Ontology:
+    if name == unified.articulation.name:
+        return unified.articulation.ontology
+    source = unified.sources.get(name)
+    if source is None:
+        raise PlanningError(f"query references unknown ontology {name!r}")
+    return source
+
+
+def _class_fanout(
+    unified: UnifiedOntology, target_qualified: str
+) -> dict[str, set[str]]:
+    """source name -> local class terms implying the target concept."""
+    implied = unified.specializations(target_qualified) | {target_qualified}
+    fanout: dict[str, set[str]] = {}
+    for qualified in implied:
+        onto_name, term = split_qualified(qualified)
+        if onto_name is None or onto_name == unified.articulation.name:
+            continue
+        if onto_name in unified.sources:
+            fanout.setdefault(onto_name, set()).add(term)
+    return fanout
+
+
+def _prune_redundant(ontology: Ontology, terms: set[str]) -> tuple[str, ...]:
+    """Drop terms that are descendants of other selected terms.
+
+    With subclass closure enabled at the store, scanning an ancestor
+    already covers its descendants; keeping both only costs work.
+    """
+    keep = []
+    for term in sorted(terms):
+        ancestors = ontology.ancestors(term)
+        if not (ancestors & terms):
+            keep.append(term)
+    return tuple(keep)
+
+
+def _attribute_units(ontology: Ontology, attribute: str) -> list[str]:
+    """Unit terms attached (via AttributeOf) to an attribute term.
+
+    The modeling convention from Fig. 2: ``PoundSterling -A-> Price``
+    declares the metric that ``Price`` values are quoted in.
+    """
+    code = ATTRIBUTE_OF.code
+    units: list[str] = []
+    for term in ontology.terms():
+        if term.lower() != attribute.lower():
+            continue
+        units.extend(sorted(ontology.graph.predecessors(term, code)))
+    return units
+
+
+def _functional_graph(articulation: Articulation) -> LabeledGraph:
+    """The subgraph of functional (conversion) bridges only."""
+    graph = LabeledGraph()
+    for edge in articulation.bridges:
+        if edge.label not in articulation.functions:
+            continue
+        for endpoint in (edge.source, edge.target):
+            if not graph.has_node(endpoint):
+                graph.add_node(endpoint, split_qualified(endpoint)[1])
+        graph.add_edge(edge.source, edge.label, edge.target)
+    return graph
+
+
+def _conversion_path(
+    articulation: Articulation,
+    start: str,
+    accept_namespace: str,
+) -> tuple[str, tuple[FunctionalRule, ...]] | None:
+    """BFS over functional bridges from ``start`` into a namespace.
+
+    Returns ``(destination unit, rule chain)`` for the shortest chain,
+    or None.  This is what turns Dutch Guilders into Pound Sterling by
+    composing DGToEuroFn with EuroToPSFn when a query targets the
+    carrier's metric.
+    """
+    graph = _functional_graph(articulation)
+    if not graph.has_node(start):
+        return None
+    prefix = f"{accept_namespace}:"
+    parents: dict[str, tuple[str, FunctionalRule]] = {}
+    frontier: deque[str] = deque([start])
+    seen = {start}
+    while frontier:
+        node = frontier.popleft()
+        if node.startswith(prefix) and node != start:
+            chain: list[FunctionalRule] = []
+            cursor = node
+            while cursor != start:
+                parent, rule = parents[cursor]
+                chain.append(rule)
+                cursor = parent
+            chain.reverse()
+            return node, tuple(chain)
+        for edge in graph.out_edges(node):
+            if edge.target in seen:
+                continue
+            seen.add(edge.target)
+            parents[edge.target] = (node, articulation.functions[edge.label])
+            frontier.append(edge.target)
+    return None
+
+
+def _unit_bearing_attributes(ontology: Ontology) -> set[str]:
+    """Attribute terms that have a unit attached (a ``unit -A-> attr``
+    edge where the unit itself has an outgoing functional candidate)."""
+    code = ATTRIBUTE_OF.code
+    bearing: set[str] = set()
+    for term in ontology.terms():
+        if ontology.graph.predecessors(term, code):
+            bearing.add(term)
+    return bearing
+
+
+def _conversions_for_source(
+    unified: UnifiedOntology,
+    source: Ontology,
+    target_ontology: str,
+    attributes: set[str],
+) -> dict[str, Conversion]:
+    """Per-attribute conversion chains from one source's metrics.
+
+    An empty ``attributes`` set means the query projects everything
+    (``SELECT *``): every unit-bearing attribute of the source gets a
+    conversion so no value leaks out in the wrong metric.
+    """
+    if source.name == target_ontology:
+        return {}
+    if not attributes:
+        attributes = {a.lower() for a in _unit_bearing_attributes(source)}
+    articulation = unified.articulation
+    conversions: dict[str, Conversion] = {}
+    for attribute in attributes:
+        for unit in _attribute_units(source, attribute):
+            start = qualify(source.name, unit)
+            found = _conversion_path(articulation, start, target_ontology)
+            if found is None:
+                continue
+            destination, chain = found
+            conversions[attribute.lower()] = Conversion(
+                attribute.lower(), start, destination, chain
+            )
+            break
+    return conversions
+
+
+def reformulate(
+    query: Query, unified: UnifiedOntology | Articulation
+) -> list[SourcePlan]:
+    """Reformulate a query into per-source plans.
+
+    Raises :class:`PlanningError` when the target ontology is unknown
+    or no source can contribute.
+    """
+    if isinstance(unified, Articulation):
+        unified = UnifiedOntology(unified)
+    target_ontology = query.target.ontology
+    assert target_ontology is not None  # Query.__post_init__ guarantees it
+    owner = _ontology_for(unified, target_ontology)
+    if not owner.has_term(query.target.term):
+        raise QueryError(
+            f"target class {query.target.term!r} does not exist in "
+            f"ontology {target_ontology!r}"
+        )
+
+    target_qualified = qualify(target_ontology, query.target.term)
+    fanout = _class_fanout(unified, target_qualified)
+    attributes = query.attributes_needed()
+
+    plans: list[SourcePlan] = []
+    for source_name in sorted(fanout):
+        source = unified.sources[source_name]
+        classes = _prune_redundant(source, fanout[source_name])
+        if not classes:
+            continue
+        conversions = _conversions_for_source(
+            unified, source, target_ontology, attributes
+        )
+        plans.append(SourcePlan(source_name, classes, conversions))
+
+    if not plans:
+        raise PlanningError(
+            f"no source ontology is bridged into {target_qualified!r}; "
+            "the query has no executable plan"
+        )
+    return plans

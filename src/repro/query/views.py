@@ -1,0 +1,201 @@
+"""Answering queries using views (paper §1 and reference [16]).
+
+The paper contrasts ONION's articulations with the view-based mediation
+of Infomaster / Information Manifold, and cites Mitra's own
+"Algorithms for answering queries efficiently using views".  This
+module implements the ingredient the query system needs: materialized
+views over the unified sources, a containment test, and a rewriter
+that answers a query from a view when one applies (falling back to the
+live plan otherwise).
+
+The containment test is the classic conjunctive-predicate one,
+restricted to our AST: a view answers a query when
+
+* the view's target class subsumes the query's target class (equal, or
+  the query's class is a specialization of the view's in the unified
+  graph);
+* every view predicate is implied by some query predicate (so the
+  view's rows are a superset of the query's answer set);
+* the view stores every attribute the query needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.ontology import qualify
+from repro.core.unified import UnifiedOntology
+from repro.errors import QueryError
+from repro.query.ast import Condition, Query
+from repro.query.engine import QueryEngine, ResultRow
+
+__all__ = ["MaterializedView", "ViewCatalog"]
+
+
+def _condition_implies(stronger: Condition, weaker: Condition) -> bool:
+    """Does satisfying ``stronger`` guarantee satisfying ``weaker``?
+
+    Handles same-attribute numeric ranges and equality; anything else
+    is answered conservatively (False).
+    """
+    if stronger.attribute != weaker.attribute:
+        return False
+    if stronger.op == weaker.op and stronger.value == weaker.value:
+        return True
+    try:
+        s_val = float(stronger.value)  # type: ignore[arg-type]
+        w_val = float(weaker.value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        if stronger.op == "=" and weaker.op == "=":
+            return stronger.value == weaker.value
+        return False
+    if stronger.op == "=":
+        return weaker.evaluate(s_val)
+    if stronger.op in ("<", "<="):
+        if weaker.op == "<":
+            return s_val <= w_val if stronger.op == "<" else s_val < w_val
+        if weaker.op == "<=":
+            return s_val <= w_val
+    if stronger.op in (">", ">="):
+        if weaker.op == ">":
+            return s_val >= w_val if stronger.op == ">" else s_val > w_val
+        if weaker.op == ">=":
+            return s_val >= w_val
+    return False
+
+
+@dataclass
+class MaterializedView:
+    """A named, materialized query result.
+
+    ``rows`` hold full attribute maps (the view is defined with
+    ``SELECT *`` semantics internally so residual predicates can be
+    evaluated); ``stale`` flips when a source changes and the catalog
+    owner must refresh — the maintenance cost the paper's critique of
+    view-based integration is about.
+    """
+
+    name: str
+    query: Query
+    rows: list[ResultRow] = field(default_factory=list)
+    stale: bool = True
+    refresh_count: int = 0
+
+    def refresh(self, engine: QueryEngine) -> int:
+        """Re-materialize from the live sources; returns the row count."""
+        materialization = Query(
+            self.query.target,
+            (),  # store all attributes
+            self.query.where,
+            self.query.include_subclasses,
+        )
+        self.rows = engine.execute(materialization)
+        self.stale = False
+        self.refresh_count += 1
+        return len(self.rows)
+
+    def can_answer(self, query: Query, unified: UnifiedOntology) -> bool:
+        """The containment test described in the module docstring."""
+        if self.stale:
+            return False
+        view_target = qualify(
+            self.query.target.ontology or "", self.query.target.term
+        )
+        query_target = qualify(
+            query.target.ontology or "", query.target.term
+        )
+        if view_target != query_target:
+            if not unified.has_term(query_target) or not unified.has_term(
+                view_target
+            ):
+                return False
+            if not unified.implies(query_target, view_target):
+                return False
+        for view_condition in self.query.where:
+            if not any(
+                _condition_implies(query_condition, view_condition)
+                for query_condition in query.where
+            ):
+                return False
+        return True
+
+    def answer(self, query: Query) -> list[ResultRow]:
+        """Evaluate the query's residual predicates over the view rows,
+        then apply ordering, limits, aggregation and projection exactly
+        as the live executor would."""
+        from repro.query.engine import finalize_rows
+
+        kept = [
+            ResultRow(row.instance_id, row.source, row.cls,
+                      dict(row.values))
+            for row in self.rows
+            if all(
+                condition.evaluate(row.get(condition.attribute))
+                for condition in query.where
+            )
+        ]
+        finalized = finalize_rows(query, kept)
+        if query.aggregates or not query.select:
+            return finalized
+        return [
+            ResultRow(
+                row.instance_id,
+                row.source,
+                row.cls,
+                {attr: row.get(attr) for attr in query.select},
+            )
+            for row in finalized
+        ]
+
+
+class ViewCatalog:
+    """Registered views plus the rewrite-or-fallback entry point."""
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+        self.views: dict[str, MaterializedView] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def define(self, name: str, query: Query | str) -> MaterializedView:
+        from repro.query.parser import parse_query
+
+        if name in self.views:
+            raise QueryError(f"view {name!r} already defined")
+        if isinstance(query, str):
+            query = parse_query(query)
+        view = MaterializedView(name, query)
+        view.refresh(self.engine)
+        self.views[name] = view
+        return view
+
+    def invalidate(self, *names: str) -> None:
+        """Mark views stale (all of them when no names are given)."""
+        targets = names or tuple(self.views)
+        for name in targets:
+            if name not in self.views:
+                raise QueryError(f"no view named {name!r}")
+            self.views[name].stale = True
+
+    def refresh_stale(self) -> int:
+        """Refresh every stale view; returns how many were refreshed."""
+        refreshed = 0
+        for view in self.views.values():
+            if view.stale:
+                view.refresh(self.engine)
+                refreshed += 1
+        return refreshed
+
+    def execute(self, query: Query | str) -> list[ResultRow]:
+        """Answer from a view when possible, else from the live plan."""
+        from repro.query.parser import parse_query
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        for view in self.views.values():
+            if view.can_answer(query, self.engine.unified):
+                self.hits += 1
+                return view.answer(query)
+        self.misses += 1
+        return self.engine.execute(query)

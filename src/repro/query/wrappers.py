@@ -1,0 +1,103 @@
+"""Source wrappers (paper Fig. 1: every knowledge base sits behind a
+wrapper the query engine talks to).
+
+A wrapper exposes one operation — fetch instances for a set of class
+terms — so the engine never depends on how a source stores its data.
+:class:`InstanceStoreWrapper` adapts the in-memory store;
+:class:`CallableWrapper` adapts any function (useful for synthetic or
+remote-ish sources in tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.kb.instances import Instance, InstanceStore
+
+__all__ = [
+    "SourceWrapper",
+    "InstanceStoreWrapper",
+    "CallableWrapper",
+    "as_wrapper",
+]
+
+
+class SourceWrapper:
+    """Protocol: fetch instances of the given classes.
+
+    ``predicate`` is an optional source-side filter (predicate
+    pushdown); wrappers may apply it wherever is cheapest for their
+    backing store.
+    """
+
+    name: str
+
+    def fetch(
+        self,
+        classes: Sequence[str],
+        *,
+        include_subclasses: bool = True,
+        predicate: Callable[[Instance], bool] | None = None,
+    ) -> list[Instance]:
+        raise NotImplementedError
+
+
+@dataclass
+class InstanceStoreWrapper(SourceWrapper):
+    """Wrap an :class:`InstanceStore`; counts fetches for benchmarks."""
+
+    store: InstanceStore
+    fetch_count: int = 0
+    fetched_instances: int = 0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.store.name
+
+    def fetch(
+        self,
+        classes: Sequence[str],
+        *,
+        include_subclasses: bool = True,
+        predicate: Callable[[Instance], bool] | None = None,
+    ) -> list[Instance]:
+        self.fetch_count += 1
+        rows = self.store.select(
+            classes, predicate, include_subclasses=include_subclasses
+        )
+        self.fetched_instances += len(rows)
+        return rows
+
+
+@dataclass
+class CallableWrapper(SourceWrapper):
+    """Wrap a plain function producing instances."""
+
+    name: str
+    fn: Callable[[Sequence[str], bool], Iterable[Instance]]
+
+    def fetch(
+        self,
+        classes: Sequence[str],
+        *,
+        include_subclasses: bool = True,
+        predicate: Callable[[Instance], bool] | None = None,
+    ) -> list[Instance]:
+        rows = list(self.fn(classes, include_subclasses))
+        if predicate is not None:
+            rows = [row for row in rows if predicate(row)]
+        return rows
+
+
+def as_wrapper(source: InstanceStore | SourceWrapper) -> SourceWrapper:
+    """Normalize a store-or-wrapper argument to a wrapper."""
+    if isinstance(source, SourceWrapper):
+        return source
+    if isinstance(source, InstanceStore):
+        return InstanceStoreWrapper(source)
+    raise QueryError(
+        f"cannot wrap source of type {type(source).__name__}; expected "
+        "InstanceStore or SourceWrapper"
+    )

@@ -1,0 +1,15 @@
+"""The ONION viewer: expert session API and text rendering (paper §2.2)."""
+
+from repro.viewer.render import (
+    render_articulation,
+    render_hierarchy,
+    render_ontology,
+)
+from repro.viewer.session import ExpertSession
+
+__all__ = [
+    "ExpertSession",
+    "render_articulation",
+    "render_hierarchy",
+    "render_ontology",
+]

@@ -1,0 +1,104 @@
+"""ASCII rendering of ontologies and articulations (paper §2.2).
+
+The ONION viewer is a GUI; its *semantics* — showing the expert the
+class hierarchy, the bridges, and a summary of what a rule set did —
+are reproduced here as plain-text renderers, suitable for terminals,
+logs and docstrings.  Graphical output goes through
+:mod:`repro.formats.dot`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.articulation import Articulation
+from repro.core.ontology import Ontology
+from repro.core.relations import SUBCLASS_OF
+
+__all__ = ["render_hierarchy", "render_ontology", "render_articulation"]
+
+
+def render_hierarchy(
+    ontology: Ontology, *, relation: str | None = None
+) -> str:
+    """The ontology's hierarchy as an indented tree.
+
+    Follows ``relation`` (default SubclassOf) downward from the roots;
+    terms reachable along several paths are printed at each spot with a
+    ``*`` marker after the first.
+    """
+    code = ontology.registry.code_for(relation or SUBCLASS_OF.name)
+    lines: list[str] = [f"{ontology.name}"]
+    printed: set[str] = set()
+
+    def children(term: str) -> list[str]:
+        return sorted(ontology.graph.predecessors(term, code))
+
+    def walk(term: str, depth: int, on_path: frozenset[str]) -> None:
+        marker = " *" if term in printed else ""
+        lines.append("  " * depth + f"+- {term}{marker}")
+        if term in printed or term in on_path:
+            return
+        printed.add(term)
+        for child in children(term):
+            walk(child, depth + 1, on_path | {term})
+
+    for root in sorted(ontology.roots(relation)):
+        walk(root, 1, frozenset())
+    # Terms not reachable from any root (cycles) still deserve a line.
+    for term in sorted(set(ontology.terms()) - printed):
+        lines.append(f"  +- {term} (cyclic)")
+        printed.add(term)
+    return "\n".join(lines)
+
+
+def render_ontology(ontology: Ontology) -> str:
+    """A compact structural summary: counts, hierarchy, other edges."""
+    graph = ontology.graph
+    lines = [
+        f"ontology {ontology.name}: {graph.node_count()} terms, "
+        f"{graph.edge_count()} relationships",
+        render_hierarchy(ontology),
+    ]
+    s_code = ontology.registry.code_for(SUBCLASS_OF.name)
+    other = sorted(
+        (e.source, e.label, e.target)
+        for e in graph.edges()
+        if e.label != s_code
+    )
+    if other:
+        lines.append("other relationships:")
+        for source, label, target in other:
+            lines.append(f"  {source} -{label}-> {target}")
+    return "\n".join(lines)
+
+
+def render_articulation(articulation: Articulation) -> str:
+    """What the expert reviews: terms, internal edges, bridges, rules."""
+    lines = [
+        f"articulation {articulation.name!r} over "
+        f"{sorted(articulation.sources)}",
+        f"  terms: {sorted(articulation.ontology.terms())}",
+    ]
+    internal = sorted(
+        (e.source, e.label, e.target)
+        for e in articulation.ontology.graph.edges()
+    )
+    if internal:
+        lines.append("  internal edges:")
+        for source, label, target in internal:
+            lines.append(f"    {source} -{label}-> {target}")
+    lines.append(f"  bridges ({len(articulation.bridges)}):")
+    for edge in sorted(
+        articulation.bridges, key=lambda e: (e.source, e.label, e.target)
+    ):
+        lines.append(f"    {edge.source} -{edge.label}-> {edge.target}")
+    if articulation.functions:
+        lines.append("  conversion functions:")
+        for label in sorted(articulation.functions):
+            rule = articulation.functions[label]
+            lines.append(f"    {label}: {rule.source} -> {rule.target}")
+    lines.append(f"  rules ({len(articulation.rules)}):")
+    for rule in articulation.rules:
+        lines.append(f"    {rule}")
+    return "\n".join(lines)

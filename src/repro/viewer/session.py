@@ -1,0 +1,169 @@
+"""The expert's viewer session (paper §2.2).
+
+"A domain expert initiates a session by calling into view the
+ontologies of interest.  Then he can opt for a refinement of an
+existing ontology using off-line information, import additional
+ontologies into the system, drop an ontology from further
+consideration and, most importantly, specify articulation rules.  The
+alternative method is to call upon the articulation generator to
+visualize possible semantic bridges based on the rule set already
+available."
+
+:class:`ExpertSession` is that workflow as a programmatic API: import/
+drop ontologies, specify rules, ask SKAT for suggestions, accept or
+reject them, generate, inspect, undo, and export.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.articulation import Articulation, ArticulationGenerator
+from repro.core.ontology import Ontology
+from repro.core.rules import ArticulationRuleSet, Rule, parse_rule
+from repro.errors import OnionError
+from repro.formats.dot import articulation_to_dot, ontology_to_dot
+from repro.lexicon.expert import MatchCandidate
+from repro.lexicon.skat import SkatEngine
+from repro.viewer.render import render_articulation, render_ontology
+
+__all__ = ["ExpertSession"]
+
+
+class ExpertSession:
+    """One expert's working session over a set of source ontologies."""
+
+    def __init__(
+        self,
+        *,
+        articulation_name: str = "articulation",
+        skat: SkatEngine | None = None,
+    ) -> None:
+        self.articulation_name = articulation_name
+        self.skat = skat if skat is not None else SkatEngine.default()
+        self.ontologies: dict[str, Ontology] = {}
+        self.rules = ArticulationRuleSet()
+        self.articulation: Articulation | None = None
+        self._pending: list[MatchCandidate] = []
+
+    # ------------------------------------------------------------------
+    # ontology management
+    # ------------------------------------------------------------------
+    def import_ontology(self, ontology: Ontology) -> Ontology:
+        """Bring an ontology into view."""
+        if ontology.name in self.ontologies:
+            raise OnionError(
+                f"ontology {ontology.name!r} is already in the session"
+            )
+        self.ontologies[ontology.name] = ontology
+        self._invalidate()
+        return ontology
+
+    def drop_ontology(self, name: str) -> Ontology:
+        """Drop an ontology from further consideration."""
+        ontology = self.ontologies.pop(name, None)
+        if ontology is None:
+            raise OnionError(f"no ontology {name!r} in the session")
+        self._invalidate()
+        return ontology
+
+    def view(self, name: str) -> str:
+        """Render one ontology (or the articulation) for inspection."""
+        if name == self.articulation_name and self.articulation is not None:
+            return render_articulation(self.articulation)
+        if name in self.ontologies:
+            return render_ontology(self.ontologies[name])
+        raise OnionError(f"nothing named {name!r} to view")
+
+    # ------------------------------------------------------------------
+    # rules: manual entry and SKAT suggestions
+    # ------------------------------------------------------------------
+    def specify_rule(self, rule: Rule | str) -> Rule:
+        """The expert states a rule directly."""
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        self.rules.add(rule)
+        self._invalidate()
+        return rule
+
+    def suggest(self, o1_name: str, o2_name: str) -> list[MatchCandidate]:
+        """Ask SKAT for bridge suggestions between two imported sources."""
+        for name in (o1_name, o2_name):
+            if name not in self.ontologies:
+                raise OnionError(f"no ontology {name!r} in the session")
+        self._pending = self.skat.propose(
+            self.ontologies[o1_name],
+            self.ontologies[o2_name],
+            exclude=list(self.rules),
+        )
+        return list(self._pending)
+
+    def accept(self, *candidates: MatchCandidate | int) -> int:
+        """Accept pending suggestions (by object or index); returns count."""
+        accepted = 0
+        for item in candidates:
+            candidate = (
+                self._pending[item] if isinstance(item, int) else item
+            )
+            if self.rules.add(candidate.rule):
+                accepted += 1
+        self._pending = [
+            c for c in self._pending if c.rule not in self.rules
+        ]
+        if accepted:
+            self._invalidate()
+        return accepted
+
+    def reject(self, *candidates: MatchCandidate | int) -> int:
+        """Discard pending suggestions."""
+        to_drop = {
+            (self._pending[item] if isinstance(item, int) else item).key()
+            for item in candidates
+        }
+        before = len(self._pending)
+        self._pending = [
+            c for c in self._pending if c.key() not in to_drop
+        ]
+        return before - len(self._pending)
+
+    def pending(self) -> list[MatchCandidate]:
+        return list(self._pending)
+
+    # ------------------------------------------------------------------
+    # generation and export
+    # ------------------------------------------------------------------
+    def generate(self) -> Articulation:
+        """Run the articulation generator over the current rule set."""
+        if len(self.ontologies) < 2:
+            raise OnionError(
+                "need at least two imported ontologies to articulate"
+            )
+        generator = ArticulationGenerator(
+            self.ontologies.values(), name=self.articulation_name
+        )
+        self.articulation = generator.generate(self.rules)
+        return self.articulation
+
+    def export_dot(self, path: str | Path) -> None:
+        """Write the current picture (articulation if generated) as DOT."""
+        target = Path(path)
+        if self.articulation is not None:
+            target.write_text(articulation_to_dot(self.articulation))
+        elif len(self.ontologies) == 1:
+            only = next(iter(self.ontologies.values()))
+            target.write_text(ontology_to_dot(only))
+        else:
+            raise OnionError(
+                "generate the articulation (or import exactly one "
+                "ontology) before exporting"
+            )
+
+    def _invalidate(self) -> None:
+        self.articulation = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ExpertSession ontologies={sorted(self.ontologies)} "
+            f"rules={len(self.rules)} "
+            f"generated={self.articulation is not None}>"
+        )

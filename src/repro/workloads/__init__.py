@@ -1,0 +1,38 @@
+"""Workloads: the paper's Fig. 2 example, synthetic ontology families,
+and the churn model for maintenance experiments."""
+
+from repro.workloads.churn import ChurnReport, Mutation, apply_churn
+from repro.workloads.generator import (
+    Concept,
+    SyntheticWorkload,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.workloads.paper_example import (
+    ARTICULATION_NAME,
+    EXPECTED_ARTICULATION_TERMS,
+    EXPECTED_BRIDGES,
+    EXPECTED_INTERNAL_EDGES,
+    carrier_ontology,
+    factory_ontology,
+    generate_transport_articulation,
+    paper_rules,
+)
+
+__all__ = [
+    "ARTICULATION_NAME",
+    "ChurnReport",
+    "Concept",
+    "EXPECTED_ARTICULATION_TERMS",
+    "EXPECTED_BRIDGES",
+    "EXPECTED_INTERNAL_EDGES",
+    "Mutation",
+    "SyntheticWorkload",
+    "WorkloadConfig",
+    "apply_churn",
+    "carrier_ontology",
+    "factory_ontology",
+    "generate_transport_articulation",
+    "generate_workload",
+    "paper_rules",
+]

@@ -1,0 +1,137 @@
+"""Source churn for the maintenance experiment (paper §5.3, §6).
+
+"Changes to portions of an ontology that are not articulated with
+portions of another ontology can be made without affecting the rest of
+the system.  This approach greatly reduces the cost of maintaining
+applications that compose knowledge from a large number of sources
+that are frequently updated."
+
+:func:`apply_churn` mutates an ontology with a mix of realistic edits
+(add a leaf term, delete a leaf term, add an edge, remove an edge) and
+reports exactly which terms each edit touched, so the maintenance
+benchmark can ask the articulation — via its covered-term set, i.e.
+the complement of the difference operator — whether the edit requires
+any articulation work at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.graph import Edge
+from repro.core.ontology import Ontology
+from repro.core.relations import SUBCLASS_OF
+
+__all__ = ["Mutation", "ChurnReport", "apply_churn"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One edit: its kind and the terms it touched."""
+
+    kind: str  # add_term | delete_term | add_edge | delete_edge
+    touched: tuple[str, ...]
+
+
+@dataclass
+class ChurnReport:
+    """Everything a maintenance experiment needs about one churn batch."""
+
+    mutations: list[Mutation] = field(default_factory=list)
+
+    def touched_terms(self) -> set[str]:
+        return {term for m in self.mutations for term in m.touched}
+
+    def __len__(self) -> int:
+        return len(self.mutations)
+
+
+def _leaf_terms(ontology: Ontology) -> list[str]:
+    """Terms with no incoming edges (nothing depends on them)."""
+    graph = ontology.graph
+    return sorted(
+        term for term in graph.nodes() if not graph.in_edges(term)
+    )
+
+
+def apply_churn(
+    ontology: Ontology,
+    *,
+    n_mutations: int,
+    seed: int = 0,
+    add_weight: float = 0.35,
+    delete_weight: float = 0.25,
+    edge_weight: float = 0.4,
+) -> ChurnReport:
+    """Apply ``n_mutations`` random edits in place; report what changed.
+
+    Additions attach fresh leaf terms under random existing terms;
+    deletions remove leaf terms; edge edits add or remove non-structural
+    relationships between random pairs.  Weights control the mix.
+    """
+    rng = random.Random(seed)
+    report = ChurnReport()
+    counter = 0
+    kinds = ["add_term", "delete_term", "add_edge"]
+    weights = [add_weight, delete_weight, edge_weight]
+
+    for _ in range(n_mutations):
+        terms = sorted(ontology.terms())
+        if len(terms) < 2:
+            kind = "add_term"
+        else:
+            kind = rng.choices(kinds, weights)[0]
+
+        if kind == "add_term":
+            parent = rng.choice(terms) if terms else None
+            new_term = f"Churn{seed}_{counter}"
+            counter += 1
+            ontology.ensure_term(new_term)
+            touched = [new_term]
+            if parent is not None:
+                ontology.add_subclass(new_term, parent)
+                touched.append(parent)
+            report.mutations.append(Mutation("add_term", tuple(touched)))
+
+        elif kind == "delete_term":
+            leaves = _leaf_terms(ontology)
+            if not leaves:
+                continue
+            victim = rng.choice(leaves)
+            removed = ontology.remove_term(victim)
+            touched = {victim}
+            for edge in removed:
+                touched.update((edge.source, edge.target))
+            report.mutations.append(
+                Mutation("delete_term", tuple(sorted(touched)))
+            )
+
+        else:  # add_edge (or delete one when a free edge exists)
+            graph = ontology.graph
+            free_edges = [
+                e
+                for e in graph.edges()
+                if e.label not in (SUBCLASS_OF.code,)
+            ]
+            if free_edges and rng.random() < 0.4:
+                edge = rng.choice(
+                    sorted(
+                        free_edges,
+                        key=lambda e: (e.source, e.label, e.target),
+                    )
+                )
+                graph.remove_edge(edge)
+                report.mutations.append(
+                    Mutation("delete_edge", (edge.source, edge.target))
+                )
+            else:
+                source, target = rng.sample(terms, 2)
+                label = rng.choice(["relatesTo", "uses", "partOf"])
+                if not graph.has_edge(source, label, target):
+                    graph.add_edge(source, label, target)
+                report.mutations.append(
+                    Mutation("add_edge", (source, target))
+                )
+
+    return report

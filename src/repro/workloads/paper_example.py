@@ -1,0 +1,263 @@
+"""The paper's running example (Fig. 2): carrier, factory, transport.
+
+Fig. 2 shows two simplified source ontologies from a transportation
+application — a *carrier* (transport company) and a *factory*
+(manufacturer) — articulated through a *transport* ontology.  The
+figure is partially reconstructed here (the published rendering omits
+"a few of the most obvious edges" and the bitmap is low-resolution);
+every relationship used in the paper's prose examples is present:
+
+* ``carrier:Car => factory:Vehicle`` (§4.1, first worked example);
+* the cascade through ``transport:PassengerCar``;
+* ``transport:Owner => transport:Person`` (internal rule);
+* ``(factory:CargoCarrier ^ factory:Vehicle) => carrier:Trucks`` with
+  the synthesized ``CargoCarrierVehicle`` and common subclass ``Truck``;
+* ``factory:Vehicle => (carrier:Cars | carrier:Trucks)`` with the
+  synthesized ``CarsTrucks``;
+* the ``PSToEuroFn``/``EuroToPSFn`` currency conversion pair of Fig. 2
+  plus the ``DGToEuroFn`` Dutch-guilder example of §4.1.
+
+The module also ships small instance populations for both sources so
+the query examples and benchmarks can run end to end.
+"""
+
+from __future__ import annotations
+
+from repro.core.articulation import Articulation, ArticulationGenerator
+from repro.core.ontology import Ontology
+from repro.core.rules import (
+    ArticulationRuleSet,
+    FunctionalRule,
+    TermRef,
+    parse_rule,
+)
+
+__all__ = [
+    "ARTICULATION_NAME",
+    "carrier_ontology",
+    "factory_ontology",
+    "carrier_store",
+    "factory_store",
+    "paper_rules",
+    "generate_transport_articulation",
+    "EXPECTED_ARTICULATION_TERMS",
+    "EXPECTED_INTERNAL_EDGES",
+    "EXPECTED_BRIDGES",
+    "PS_PER_EURO",
+    "DG_PER_EURO",
+]
+
+ARTICULATION_NAME = "transport"
+
+# Fixed historical conversion rates (the Euro launch rates the paper's
+# era would have used): 1 EUR = 2.20371 NLG; GBP floated, we pin the
+# 1999-01-01 reference rate 1 EUR = 0.7111 GBP.
+DG_PER_EURO = 2.20371
+PS_PER_EURO = 0.7111
+
+
+def carrier_ontology() -> Ontology:
+    """The carrier (transport company) source ontology of Fig. 2."""
+    onto = Ontology("carrier")
+    for term in (
+        "Transportation",
+        "Carrier",
+        "Cars",
+        "Trucks",
+        "Car",
+        "SUV",
+        "MyCar",
+        "Person",
+        "Driver",
+        "Owner",
+        "Price",
+        "Model",
+        "PoundSterling",
+    ):
+        onto.add_term(term)
+    onto.add_subclass("Carrier", "Transportation")
+    onto.add_subclass("Cars", "Carrier")
+    onto.add_subclass("Trucks", "Carrier")
+    onto.add_subclass("Car", "Cars")
+    onto.add_subclass("SUV", "Cars")
+    onto.add_instance("MyCar", "Cars")
+    onto.add_subclass("Driver", "Person")
+    onto.add_subclass("Owner", "Person")
+    onto.add_attribute("Price", "Cars")
+    onto.add_attribute("Price", "Trucks")
+    onto.add_attribute("Owner", "Trucks")
+    onto.add_attribute("Model", "Trucks")
+    # carrier:car:driver — "a node car which has an outgoing edge to
+    # the node driver" (§3).
+    onto.relate("Car", "drivenBy", "Driver")
+    # Prices at the carrier are quoted in Pound Sterling.
+    onto.add_attribute("PoundSterling", "Price")
+    return onto
+
+
+def factory_ontology() -> Ontology:
+    """The factory (manufacturer) source ontology of Fig. 2."""
+    onto = Ontology("factory")
+    for term in (
+        "Transportation",
+        "Vehicle",
+        "CargoCarrier",
+        "GoodsVehicle",
+        "Truck",
+        "Price",
+        "Weight",
+        "Buyer",
+        "Factory",
+        "DutchGuilders",
+    ):
+        onto.add_term(term)
+    onto.add_subclass("Vehicle", "Transportation")
+    onto.add_subclass("CargoCarrier", "Transportation")
+    # GoodsVehicle is the explicit intersection in the factory's own
+    # hierarchy; Truck specializes it, making Truck a *transitive*
+    # common subclass of Vehicle and CargoCarrier (§4.1 conjunction
+    # example: "e.g., Truck").
+    onto.add_subclass("GoodsVehicle", "Vehicle")
+    onto.add_subclass("GoodsVehicle", "CargoCarrier")
+    onto.add_subclass("Truck", "GoodsVehicle")
+    onto.add_attribute("Price", "Vehicle")
+    onto.add_attribute("Weight", "GoodsVehicle")
+    onto.relate("Buyer", "buys", "Vehicle")
+    onto.relate("Factory", "produces", "Vehicle")
+    # Prices at the factory are quoted in Dutch Guilders.
+    onto.add_attribute("DutchGuilders", "Price")
+    return onto
+
+
+def _currency_rules() -> list[FunctionalRule]:
+    ps_to_euro = FunctionalRule(
+        "PSToEuroFn",
+        TermRef("carrier", "PoundSterling"),
+        TermRef(ARTICULATION_NAME, "Euro"),
+        fn=lambda pounds: pounds / PS_PER_EURO,
+        inverse=lambda euros: euros * PS_PER_EURO,
+        inverse_name="EuroToPSFn",
+    )
+    dg_to_euro = FunctionalRule(
+        "DGToEuroFn",
+        TermRef("factory", "DutchGuilders"),
+        TermRef(ARTICULATION_NAME, "Euro"),
+        fn=lambda guilders: guilders / DG_PER_EURO,
+        inverse=lambda euros: euros * DG_PER_EURO,
+        inverse_name="EuroToDGFn",
+    )
+    return [ps_to_euro, dg_to_euro]
+
+
+def paper_rules() -> ArticulationRuleSet:
+    """Every articulation rule worked through in §4.1, as one rule set."""
+    rules = ArticulationRuleSet()
+    rules.add(parse_rule("carrier:Car => factory:Vehicle"))
+    rules.add(
+        parse_rule(
+            "carrier:Car => transport:PassengerCar => factory:Vehicle"
+        )
+    )
+    rules.add(parse_rule("transport:Owner => transport:Person"))
+    rules.add(
+        parse_rule(
+            "(factory:CargoCarrier ^ factory:Vehicle) => carrier:Trucks "
+            "AS CargoCarrierVehicle"
+        )
+    )
+    rules.add(parse_rule("factory:Vehicle => (carrier:Cars | carrier:Trucks)"))
+    for functional in _currency_rules():
+        rules.add(functional)
+    return rules
+
+
+def generate_transport_articulation() -> Articulation:
+    """Run the articulation generator on the Fig. 2 inputs."""
+    generator = ArticulationGenerator(
+        [carrier_ontology(), factory_ontology()], name=ARTICULATION_NAME
+    )
+    return generator.generate(paper_rules())
+
+
+def carrier_store() -> "InstanceStore":
+    """Instances at the carrier; prices quoted in Pound Sterling.
+
+    Includes the paper's ``MyCar`` with ``Price 2000`` (Fig. 2 shows
+    the instance and its price literal).
+    """
+    from repro.kb.instances import InstanceStore
+
+    store = InstanceStore(carrier_ontology())
+    store.add("MyCar", "Cars", price=2000, owner="Gio", model="Classic")
+    store.add("FleetCar1", "Car", price=7200, owner="Carrier Co",
+              model="Estate")
+    store.add("FleetSUV1", "SUV", price=11500, owner="Carrier Co",
+              model="Offroad")
+    store.add("HaulTruck1", "Trucks", price=21500, owner="Carrier Co",
+              model="T800")
+    store.add("HaulTruck2", "Trucks", price=5400, owner="Prasenjit",
+              model="T400")
+    return store
+
+
+def factory_store() -> "InstanceStore":
+    """Instances at the factory; prices quoted in Dutch Guilders."""
+    from repro.kb.instances import InstanceStore
+
+    store = InstanceStore(factory_ontology())
+    store.add("ProtoVehicle1", "Vehicle", price=19500, weight=950)
+    store.add("GoodsVan1", "GoodsVehicle", price=30500, weight=1800)
+    store.add("LineTruck1", "Truck", price=61000, weight=3500)
+    store.add("LineTruck2", "Truck", price=9800, weight=2900)
+    return store
+
+
+# ----------------------------------------------------------------------
+# ground truth for tests and the FIG2 benchmark
+# ----------------------------------------------------------------------
+EXPECTED_ARTICULATION_TERMS = frozenset(
+    {
+        "Vehicle",
+        "PassengerCar",
+        "Owner",
+        "Person",
+        "CargoCarrierVehicle",
+        "CarsTrucks",
+        "Euro",
+    }
+)
+
+# (source, label, target) inside the transport ontology.
+EXPECTED_INTERNAL_EDGES = frozenset(
+    {
+        ("Owner", "S", "Person"),
+    }
+)
+
+# Qualified (source, label, target) bridge edges.
+EXPECTED_BRIDGES = frozenset(
+    {
+        # carrier:Car => factory:Vehicle
+        ("carrier:Car", "SIBridge", "transport:Vehicle"),
+        ("factory:Vehicle", "SIBridge", "transport:Vehicle"),
+        ("transport:Vehicle", "SIBridge", "factory:Vehicle"),
+        # the PassengerCar cascade
+        ("carrier:Car", "SIBridge", "transport:PassengerCar"),
+        ("transport:PassengerCar", "SIBridge", "factory:Vehicle"),
+        # the conjunction: CargoCarrierVehicle
+        ("transport:CargoCarrierVehicle", "SIBridge", "factory:CargoCarrier"),
+        ("transport:CargoCarrierVehicle", "SIBridge", "factory:Vehicle"),
+        ("transport:CargoCarrierVehicle", "SIBridge", "carrier:Trucks"),
+        ("factory:GoodsVehicle", "SIBridge", "transport:CargoCarrierVehicle"),
+        ("factory:Truck", "SIBridge", "transport:CargoCarrierVehicle"),
+        # the disjunction: CarsTrucks
+        ("carrier:Cars", "SIBridge", "transport:CarsTrucks"),
+        ("carrier:Trucks", "SIBridge", "transport:CarsTrucks"),
+        ("factory:Vehicle", "SIBridge", "transport:CarsTrucks"),
+        # currency conversions
+        ("carrier:PoundSterling", "PSToEuroFn()", "transport:Euro"),
+        ("transport:Euro", "EuroToPSFn()", "carrier:PoundSterling"),
+        ("factory:DutchGuilders", "DGToEuroFn()", "transport:Euro"),
+        ("transport:Euro", "EuroToDGFn()", "factory:DutchGuilders"),
+    }
+)

@@ -1,0 +1,144 @@
+"""Unit tests for the baseline integration strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.global_schema import GlobalSchemaIntegrator
+from repro.baselines.manual_views import ManualViewIntegrator
+from repro.core.ontology import Ontology
+from repro.errors import AlgebraError
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+
+class TestGlobalSchema:
+    def test_merges_all_terms(self, carrier: Ontology, factory: Ontology) -> None:
+        integrator = GlobalSchemaIntegrator([carrier, factory])
+        merged = integrator.build()
+        # Without alignment, shared labels merge by name; the rest stay.
+        assert merged.has_term("Car")
+        assert merged.has_term("Vehicle")
+        assert merged.has_term("Transportation")
+
+    def test_alignment_unifies_concepts(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        integrator = GlobalSchemaIntegrator(
+            [carrier, factory],
+            alignment=[("carrier:Car", "factory:Vehicle")],
+        )
+        merged = integrator.build()
+        # The union-find maps both to one representative term.
+        assert merged.has_term("Car") != merged.has_term("Vehicle") or (
+            merged.has_term("Car") and not merged.has_term("Vehicle")
+        ) or (merged.has_term("Vehicle") and not merged.has_term("Car"))
+
+    def test_edges_carried_over(self, carrier: Ontology, factory: Ontology) -> None:
+        integrator = GlobalSchemaIntegrator([carrier, factory])
+        merged = integrator.build()
+        assert merged.graph.has_edge("Car", "S", "Cars")
+        assert merged.graph.has_edge("Truck", "S", "GoodsVehicle")
+
+    def test_cost_counts_work(self, carrier: Ontology, factory: Ontology) -> None:
+        integrator = GlobalSchemaIntegrator([carrier, factory])
+        integrator.build()
+        total_items = (
+            carrier.term_count()
+            + factory.term_count()
+            + carrier.graph.edge_count()
+            + factory.graph.edge_count()
+        )
+        # Shared labels (Transportation, Price) merge, so cost is at
+        # most the item count and at least most of it.
+        assert 0 < integrator.total_cost <= total_items
+
+    def test_update_source_forces_full_rebuild(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        integrator = GlobalSchemaIntegrator([carrier, factory])
+        integrator.build()
+        first_cost = integrator.total_cost
+        updated = carrier.copy()
+        updated.ensure_term("Scooter")
+        integrator.update_source(updated)
+        assert integrator.build_count == 2
+        assert integrator.total_cost >= 2 * first_cost - 1
+
+    def test_maintenance_cost_ignores_change_locality(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        integrator = GlobalSchemaIntegrator([carrier, factory])
+        integrator.build()
+        tiny_change_cost = integrator.maintenance_cost_for(["Price"])
+        # One irrelevant term still costs a full rebuild.
+        assert tiny_change_cost >= carrier.term_count()
+
+    def test_unknown_source_update_rejected(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        integrator = GlobalSchemaIntegrator([carrier, factory])
+        stranger = Ontology("stranger")
+        with pytest.raises(AlgebraError):
+            integrator.update_source(stranger)
+
+    def test_duplicate_sources_rejected(self, carrier: Ontology) -> None:
+        with pytest.raises(AlgebraError):
+            GlobalSchemaIntegrator([carrier, carrier.copy()])
+
+    def test_merge_with_synthetic_alignment(self) -> None:
+        workload = generate_workload(
+            WorkloadConfig(universe_size=60, n_sources=2,
+                           terms_per_source=25, seed=11)
+        )
+        integrator = GlobalSchemaIntegrator(
+            workload.sources, workload.truth_alignment(0, 1)
+        )
+        merged = integrator.build()
+        n0 = workload.sources[0].term_count()
+        n1 = workload.sources[1].term_count()
+        shared = len(workload.co_referring(0, 1))
+        assert merged.term_count() == n0 + n1 - shared
+
+
+class TestManualViews:
+    def test_define_views_costs_specification(self, carrier: Ontology) -> None:
+        integrator = ManualViewIntegrator()
+        integrator.add_source(carrier)
+        views = integrator.define_views("carrier", terms_per_view=5)
+        assert views
+        assert integrator.specification_cost == carrier.term_count()
+
+    def test_source_change_revises_every_view(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        integrator = ManualViewIntegrator()
+        integrator.add_source(carrier)
+        integrator.add_source(factory)
+        integrator.define_views("carrier")
+        integrator.define_views("factory")
+        cost = integrator.source_changed("carrier", ["Price"])
+        assert cost == carrier.term_count()
+        # factory views untouched.
+        assert all(
+            v.revision == 0 for v in integrator.views if v.source == "factory"
+        )
+
+    def test_views_touch_detection(self, carrier: Ontology) -> None:
+        integrator = ManualViewIntegrator()
+        integrator.add_source(carrier)
+        views = integrator.define_views("carrier", terms_per_view=3)
+        assert any(v.touches(["Car"]) for v in views)
+        assert not any(v.touches(["Spaceship"]) for v in views)
+
+    def test_unknown_source_rejected(self) -> None:
+        integrator = ManualViewIntegrator()
+        with pytest.raises(AlgebraError):
+            integrator.define_views("nowhere")
+        with pytest.raises(AlgebraError):
+            integrator.source_changed("nowhere")
+
+    def test_duplicate_source_rejected(self, carrier: Ontology) -> None:
+        integrator = ManualViewIntegrator()
+        integrator.add_source(carrier)
+        with pytest.raises(AlgebraError):
+            integrator.add_source(carrier.copy())

@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's Fig. 2 world, built fresh per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.articulation import Articulation
+from repro.core.ontology import Ontology
+from repro.core.rules import ArticulationRuleSet
+from repro.kb.instances import InstanceStore
+from repro.workloads.paper_example import (
+    carrier_ontology,
+    carrier_store,
+    factory_ontology,
+    factory_store,
+    generate_transport_articulation,
+    paper_rules,
+)
+
+
+@pytest.fixture
+def carrier() -> Ontology:
+    return carrier_ontology()
+
+
+@pytest.fixture
+def factory() -> Ontology:
+    return factory_ontology()
+
+
+@pytest.fixture
+def rules() -> ArticulationRuleSet:
+    return paper_rules()
+
+
+@pytest.fixture
+def transport() -> Articulation:
+    return generate_transport_articulation()
+
+
+@pytest.fixture
+def carrier_kb() -> InstanceStore:
+    return carrier_store()
+
+
+@pytest.fixture
+def factory_kb() -> InstanceStore:
+    return factory_store()
+
+
+@pytest.fixture
+def tiny() -> Ontology:
+    """A minimal hand-built ontology for focused unit tests."""
+    onto = Ontology("tiny")
+    for term in ("Animal", "Dog", "Cat", "Name"):
+        onto.add_term(term)
+    onto.add_subclass("Dog", "Animal")
+    onto.add_subclass("Cat", "Animal")
+    onto.add_attribute("Name", "Animal")
+    return onto

@@ -1,0 +1,335 @@
+"""Unit tests for the ontology algebra (paper §5) — experiment ids
+ALG-UNION / ALG-INTER / ALG-DIFF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algebra import (
+    compose,
+    difference,
+    extract_ontology,
+    filter_ontology,
+    intersection,
+    union,
+)
+from repro.core.articulation import Articulation
+from repro.core.ontology import Ontology
+from repro.core.patterns import MatchConfig, Pattern
+from repro.core.rules import ArticulationRuleSet, parse_rules
+from repro.core.unified import UnifiedOntology
+from repro.errors import AlgebraError
+from repro.workloads.paper_example import paper_rules
+
+
+class TestFilter:
+    def test_filter_keeps_matched_induced_subgraph(
+        self, carrier: Ontology
+    ) -> None:
+        pattern = Pattern.path(["Car", "Cars"], edge_label="S")
+        filtered = filter_ontology(carrier, pattern)
+        assert set(filtered.terms()) == {"Car", "Cars"}
+        assert filtered.graph.has_edge("Car", "S", "Cars")
+
+    def test_filter_union_of_all_matches(self, carrier: Ontology) -> None:
+        pattern = Pattern()
+        pattern.add_node("x", None, "X")
+        pattern.add_node("cars", "Cars")
+        pattern.add_edge("x", "S", "cars")
+        filtered = filter_ontology(carrier, pattern)
+        assert set(filtered.terms()) == {"Car", "SUV", "Cars"}
+
+    def test_filter_no_match_is_empty(self, carrier: Ontology) -> None:
+        filtered = filter_ontology(carrier, Pattern.single("Ghost"))
+        assert len(filtered) == 0
+
+    def test_filter_respects_pattern_scope(self, carrier: Ontology) -> None:
+        pattern = Pattern.single("Car", ontology="factory")
+        with pytest.raises(AlgebraError):
+            filter_ontology(carrier, pattern)
+
+    def test_filter_with_fuzzy_config(self, carrier: Ontology) -> None:
+        pattern = Pattern.single("car")
+        filtered = filter_ontology(
+            carrier, pattern, config=MatchConfig(case_insensitive=True)
+        )
+        assert set(filtered.terms()) == {"Car"}
+
+    def test_filter_names_result(self, carrier: Ontology) -> None:
+        filtered = filter_ontology(
+            carrier, Pattern.single("Car"), name="slice"
+        )
+        assert filtered.name == "slice"
+
+
+class TestExtract:
+    def test_extract_includes_reachable_region(self, carrier: Ontology) -> None:
+        extracted = extract_ontology(carrier, Pattern.single("Car"))
+        # Car reaches its ancestors and the drivenBy target.
+        assert set(extracted.terms()) == {
+            "Car",
+            "Cars",
+            "Carrier",
+            "Transportation",
+            "Driver",
+            "Person",
+        }
+
+    def test_extract_empty_when_no_match(self, carrier: Ontology) -> None:
+        extracted = extract_ontology(carrier, Pattern.single("Ghost"))
+        assert len(extracted) == 0
+
+    def test_extract_superset_of_filter(self, carrier: Ontology) -> None:
+        pattern = Pattern.single("Cars")
+        filtered = set(filter_ontology(carrier, pattern).terms())
+        extracted = set(extract_ontology(carrier, pattern).terms())
+        assert filtered <= extracted
+
+
+class TestUnion:
+    def test_union_returns_unified_ontology(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        unified = union(carrier, factory, paper_rules(), name="transport")
+        assert isinstance(unified, UnifiedOntology)
+
+    def test_union_graph_counts(
+        self, carrier: Ontology, factory: Ontology, transport: Articulation
+    ) -> None:
+        unified = union(carrier, factory, paper_rules(), name="transport")
+        graph = unified.graph()
+        assert graph.node_count() == (
+            carrier.term_count()
+            + factory.term_count()
+            + transport.ontology.term_count()
+        )
+
+    def test_union_accepts_prebuilt_articulation(
+        self, carrier: Ontology, factory: Ontology, transport: Articulation
+    ) -> None:
+        unified = union(carrier, factory, transport)
+        assert unified.articulation is transport
+
+    def test_union_is_virtual_sources_untouched(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        carrier_before = carrier.graph.structure()
+        union(carrier, factory, paper_rules(), name="transport")
+        assert carrier.graph.structure() == carrier_before
+
+
+class TestIntersection:
+    def test_intersection_is_articulation_ontology(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        inter = intersection(carrier, factory, paper_rules(), name="transport")
+        assert set(inter.terms()) == {
+            "Vehicle",
+            "PassengerCar",
+            "Owner",
+            "Person",
+            "CargoCarrierVehicle",
+            "CarsTrucks",
+            "Euro",
+        }
+
+    def test_intersection_excludes_bridge_edges(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        """§5.2: edges into source nodes are pruned, so every edge of
+        the result stays inside the articulation term set."""
+        inter = intersection(carrier, factory, paper_rules(), name="transport")
+        terms = set(inter.terms())
+        for edge in inter.graph.edges():
+            assert edge.source in terms
+            assert edge.target in terms
+
+    def test_intersection_composable(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        """The intersection output is an ordinary ontology and can be
+        articulated against a further source (§5.2 'central to our
+        scalable articulation concepts')."""
+        inter = intersection(carrier, factory, paper_rules(), name="transport")
+        third = Ontology("dealer")
+        third.add_term("Automobile")
+        art2 = union(
+            inter,
+            third,
+            parse_rules("dealer:Automobile => transport:Vehicle"),
+            name="art2",
+        )
+        assert art2.articulation.ontology.has_term("Vehicle")
+
+    def test_intersection_empty_rules_empty_result(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        inter = intersection(
+            carrier, factory, ArticulationRuleSet(), name="transport"
+        )
+        assert len(inter) == 0
+
+
+class TestDifference:
+    """The paper's §5.3 worked example, both directions."""
+
+    def test_car_removed_from_carrier_minus_factory(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        diff = difference(
+            carrier, factory, paper_rules(), articulation_name="transport"
+        )
+        assert not diff.has_term("Car")
+
+    def test_vehicle_kept_in_factory_minus_carrier(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        """'the node Vehicle is not deleted' — the rules identify cars
+        as vehicles but not which vehicles are cars."""
+        diff = difference(
+            factory, carrier, paper_rules(), articulation_name="transport"
+        )
+        assert diff.has_term("Vehicle")
+
+    def test_difference_keeps_unrelated_terms(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        diff = difference(
+            carrier, factory, paper_rules(), articulation_name="transport"
+        )
+        # Person is anchored by Owner; Price by Cars/Trucks.
+        assert diff.has_term("Person")
+        assert diff.has_term("Price")
+
+    def test_conservative_deletes_nodes_only_reachable_from_deleted(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        """Driver is reachable only via Car's drivenBy edge, so the
+        worked example's clause ('reached by a path from Car, but not
+        by a path from any other node') removes it."""
+        diff = difference(
+            carrier, factory, paper_rules(), articulation_name="transport"
+        )
+        assert not diff.has_term("Driver")
+        formal = difference(
+            carrier,
+            factory,
+            paper_rules(),
+            articulation_name="transport",
+            strategy="formal",
+        )
+        assert formal.has_term("Driver")
+
+    def test_bridged_specializations_also_removed(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        # Cars and Trucks bridge into transport:CarsTrucks, but no path
+        # continues into factory, so they survive; Car reaches
+        # factory:Vehicle and dies.
+        diff = difference(
+            carrier, factory, paper_rules(), articulation_name="transport"
+        )
+        assert diff.has_term("Cars")
+        assert diff.has_term("Trucks")
+
+    def test_single_rule_worked_example(self) -> None:
+        """The §5.3 example with exactly one rule: Car => Vehicle."""
+        carrier = Ontology("carrier")
+        for term in ("Car", "SUV", "Cars", "Price"):
+            carrier.add_term(term)
+        carrier.add_subclass("Car", "Cars")
+        carrier.add_subclass("SUV", "Cars")
+        carrier.add_attribute("Price", "Car")
+        factory = Ontology("factory")
+        factory.add_term("Vehicle")
+        rules = parse_rules("carrier:Car => factory:Vehicle")
+        diff_cf = difference(carrier, factory, rules)
+        assert not diff_cf.has_term("Car")
+        assert diff_cf.has_term("Price")  # not reachable *from* Car
+        assert diff_cf.has_term("Cars")  # anchored by SUV
+        diff_fc = difference(factory, carrier, rules)
+        assert diff_fc.has_term("Vehicle")
+
+    def test_superclass_dies_without_another_anchor(self) -> None:
+        """With no sibling, the deleted class's superclass is reachable
+        only from the deleted node and is removed too (the literal
+        reading of the worked example)."""
+        o1 = Ontology("o1")
+        o1.add_term("Car")
+        o1.add_term("Cars")
+        o1.add_subclass("Car", "Cars")
+        o2 = Ontology("o2")
+        o2.add_term("Vehicle")
+        rules = parse_rules("o1:Car => o2:Vehicle")
+        conservative = difference(o1, o2, rules)
+        assert not conservative.has_term("Cars")
+        formal = difference(o1, o2, rules, strategy="formal")
+        assert formal.has_term("Cars")
+
+    def test_conservative_prunes_orphans(self) -> None:
+        """Nodes reachable only from deleted nodes are dropped in the
+        conservative strategy (the worked example's second clause)."""
+        o1 = Ontology("o1")
+        for term in ("Car", "CarOnly", "Shared", "Other"):
+            o1.add_term(term)
+        # Car -> CarOnly (only path), Car -> Shared <- Other
+        o1.relate("Car", "has", "CarOnly")
+        o1.relate("Car", "has", "Shared")
+        o1.relate("Other", "has", "Shared")
+        o2 = Ontology("o2")
+        o2.add_term("Vehicle")
+        rules = parse_rules("o1:Car => o2:Vehicle")
+
+        conservative = difference(o1, o2, rules)
+        assert not conservative.has_term("Car")
+        assert not conservative.has_term("CarOnly")
+        assert conservative.has_term("Shared")  # reachable from Other
+        assert conservative.has_term("Other")
+
+        formal = difference(o1, o2, rules, strategy="formal")
+        assert not formal.has_term("Car")
+        assert formal.has_term("CarOnly")  # formal keeps orphans
+
+    def test_unknown_strategy_rejected(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        with pytest.raises(AlgebraError):
+            difference(carrier, factory, paper_rules(), strategy="bogus")
+
+    def test_difference_with_no_rules_is_identity(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        diff = difference(carrier, factory, ArticulationRuleSet())
+        assert set(diff.terms()) == set(carrier.terms())
+
+    def test_difference_result_name(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        diff = difference(carrier, factory, ArticulationRuleSet())
+        assert diff.name == "carrier_minus_factory"
+
+
+class TestCompose:
+    def test_compose_spans_three_sources(
+        self, carrier: Ontology, factory: Ontology, transport: Articulation
+    ) -> None:
+        dealer = Ontology("dealer")
+        dealer.add_term("Automobile")
+        dealer.add_term("Showroom")
+        art2 = compose(
+            transport,
+            dealer,
+            parse_rules("dealer:Automobile => transport:Vehicle"),
+            name="art2",
+        )
+        assert art2.ontology.has_term("Vehicle")
+        triples = {(e.source, e.label, e.target) for e in art2.bridges}
+        assert ("dealer:Automobile", "SIBridge", "art2:Vehicle") in triples
+
+    def test_compose_name_collision_rejected(
+        self, transport: Articulation
+    ) -> None:
+        impostor = Ontology("transport")
+        impostor.add_term("X")
+        with pytest.raises(AlgebraError):
+            compose(transport, impostor, ArticulationRuleSet())

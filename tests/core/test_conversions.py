@@ -1,0 +1,116 @@
+"""Unit tests for executable conversion expressions in functional rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import FunctionalRule, compile_conversion, parse_rule
+from repro.errors import RuleError, RuleParseError
+
+
+class TestCompileConversion:
+    @pytest.mark.parametrize(
+        ("expression", "value", "expected"),
+        [
+            ("x * 2", 3, 6),
+            ("x / 4", 8, 2),
+            ("x + 1.5", 1, 2.5),
+            ("x - 10", 7, -3),
+            ("-x", 5, -5),
+            ("x ** 2", 3, 9),
+            ("x % 3", 7, 1),
+            ("(x + 1) * (x - 1)", 3, 8),
+            ("2", 99, 2),  # constant function
+        ],
+    )
+    def test_arithmetic(self, expression, value, expected) -> None:
+        fn = compile_conversion(expression)
+        assert fn(value) == expected
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "y * 2",                      # unknown variable
+            "__import__('os')",           # call
+            "x.__class__",                # attribute access
+            "[1, 2]",                     # container literal
+            "x if x else 0",              # conditional
+            "'str'",                      # non-numeric literal
+            "lambda v: v",                # lambda
+            "x; x",                       # statements
+            "",                           # empty
+        ],
+    )
+    def test_rejects_unsafe_or_invalid(self, bad) -> None:
+        with pytest.raises(RuleError):
+            compile_conversion(bad)
+
+    def test_no_builtins_leak(self) -> None:
+        fn = compile_conversion("x * 1")
+        # The compiled code runs with empty builtins.
+        assert fn.__closure__ is not None
+        assert fn(2) == 2
+
+
+class TestFunctionalRuleExpressions:
+    FULL = (
+        "PSToEuroFn(x / 0.7111 ; x * 0.7111 ; EuroToPSFn) : "
+        "carrier:PoundSterling => transport:Euro"
+    )
+
+    def test_parse_executable_rule(self) -> None:
+        rule = parse_rule(self.FULL)
+        assert isinstance(rule, FunctionalRule)
+        assert rule.apply(0.7111) == pytest.approx(1.0)
+        assert rule.apply_inverse(1.0) == pytest.approx(0.7111)
+        assert rule.inverse_edge_label() == "EuroToPSFn()"
+
+    def test_str_round_trip_preserves_expressions(self) -> None:
+        rule = parse_rule(self.FULL)
+        assert isinstance(rule, FunctionalRule)
+        again = parse_rule(str(rule))
+        assert isinstance(again, FunctionalRule)
+        assert again.expr_text == rule.expr_text
+        assert again.inverse_expr_text == rule.inverse_expr_text
+        assert again.apply(100.0) == pytest.approx(rule.apply(100.0))
+
+    def test_forward_only_expression(self) -> None:
+        rule = parse_rule("Half(x / 2) : a:X => b:Y")
+        assert isinstance(rule, FunctionalRule)
+        assert rule.apply(10) == 5
+        assert rule.inverse is None
+        assert rule.inverse_edge_label() is None
+
+    def test_empty_body_is_declaration_only(self) -> None:
+        rule = parse_rule("Fn() : a:X => b:Y")
+        assert isinstance(rule, FunctionalRule)
+        with pytest.raises(RuleError):
+            rule.apply(1)
+
+    def test_too_many_segments_rejected(self) -> None:
+        with pytest.raises(RuleParseError):
+            parse_rule("Fn(x ; x ; Inv ; extra) : a:X => b:Y")
+
+    def test_bad_inverse_name_rejected(self) -> None:
+        with pytest.raises(RuleParseError):
+            parse_rule("Fn(x ; x ; 9bad) : a:X => b:Y")
+
+    def test_unsafe_expression_rejected_at_parse(self) -> None:
+        with pytest.raises(RuleParseError):
+            parse_rule("Fn(__import__('os')) : a:X => b:Y")
+
+    def test_generator_uses_parsed_conversions(self) -> None:
+        from repro.core.articulation import ArticulationGenerator
+        from repro.core.rules import parse_rules
+        from repro.workloads.paper_example import (
+            carrier_ontology,
+            factory_ontology,
+        )
+
+        generator = ArticulationGenerator(
+            [carrier_ontology(), factory_ontology()], name="transport"
+        )
+        articulation = generator.generate(parse_rules(self.FULL))
+        forward = articulation.functions["PSToEuroFn()"]
+        backward = articulation.functions["EuroToPSFn()"]
+        assert backward.apply(forward.apply(123.0)) == pytest.approx(123.0)

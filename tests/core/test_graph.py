@@ -1,0 +1,294 @@
+"""Unit tests for the labeled-multigraph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Edge, LabeledGraph
+from repro.errors import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+)
+
+
+@pytest.fixture
+def graph() -> LabeledGraph:
+    g = LabeledGraph()
+    for node in ("a", "b", "c", "d"):
+        g.add_node(node)
+    g.add_edge("a", "S", "b")
+    g.add_edge("b", "S", "c")
+    g.add_edge("a", "A", "c")
+    g.add_edge("c", "S", "d")
+    return g
+
+
+class TestNodes:
+    def test_add_node_defaults_label_to_id(self) -> None:
+        g = LabeledGraph()
+        g.add_node("x")
+        assert g.label("x") == "x"
+
+    def test_add_node_with_explicit_label(self) -> None:
+        g = LabeledGraph()
+        g.add_node("n1", "Car")
+        assert g.label("n1") == "Car"
+
+    def test_duplicate_node_rejected(self) -> None:
+        g = LabeledGraph()
+        g.add_node("x")
+        with pytest.raises(DuplicateNodeError):
+            g.add_node("x")
+
+    def test_empty_label_rejected(self) -> None:
+        g = LabeledGraph()
+        with pytest.raises(GraphError):
+            g.add_node("x", "")
+
+    def test_ensure_node_is_idempotent(self) -> None:
+        g = LabeledGraph()
+        g.ensure_node("x", "L")
+        g.ensure_node("x", "IGNORED")
+        assert g.label("x") == "L"
+        assert g.node_count() == 1
+
+    def test_remove_node_returns_incident_edges(self, graph: LabeledGraph) -> None:
+        removed = graph.remove_node("b")
+        assert set(removed) == {Edge("a", "S", "b"), Edge("b", "S", "c")}
+        assert not graph.has_node("b")
+        assert graph.edge_count() == 2
+
+    def test_remove_missing_node_raises(self, graph: LabeledGraph) -> None:
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node("zzz")
+
+    def test_label_of_missing_node_raises(self) -> None:
+        g = LabeledGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.label("ghost")
+
+    def test_relabel_updates_label_index(self) -> None:
+        g = LabeledGraph()
+        g.add_node("n", "Old")
+        g.relabel_node("n", "New")
+        assert g.nodes_with_label("Old") == frozenset()
+        assert g.nodes_with_label("New") == frozenset({"n"})
+
+    def test_relabel_to_empty_rejected(self) -> None:
+        g = LabeledGraph()
+        g.add_node("n")
+        with pytest.raises(GraphError):
+            g.relabel_node("n", "")
+
+    def test_nodes_with_label_tracks_multiple_nodes(self) -> None:
+        g = LabeledGraph()
+        g.add_node("n1", "Car")
+        g.add_node("n2", "Car")
+        assert g.nodes_with_label("Car") == frozenset({"n1", "n2"})
+        assert not g.is_consistent()
+
+    def test_contains_and_len(self, graph: LabeledGraph) -> None:
+        assert "a" in graph
+        assert "zzz" not in graph
+        assert len(graph) == 4
+
+
+class TestEdges:
+    def test_add_edge_requires_endpoints(self) -> None:
+        g = LabeledGraph()
+        g.add_node("a")
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge("a", "S", "missing")
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge("missing", "S", "a")
+
+    def test_add_edge_rejects_empty_label(self) -> None:
+        g = LabeledGraph()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "", "b")
+
+    def test_duplicate_edge_is_noop(self, graph: LabeledGraph) -> None:
+        before = graph.edge_count()
+        graph.add_edge("a", "S", "b")
+        assert graph.edge_count() == before
+
+    def test_parallel_edges_with_distinct_labels(self, graph: LabeledGraph) -> None:
+        graph.add_edge("a", "owns", "b")
+        assert graph.has_edge("a", "S", "b")
+        assert graph.has_edge("a", "owns", "b")
+
+    def test_self_loop_allowed(self) -> None:
+        g = LabeledGraph()
+        g.add_node("a")
+        g.add_edge("a", "self", "a")
+        assert g.has_edge("a", "self", "a")
+        assert g.degree("a") == 2
+
+    def test_remove_edge(self, graph: LabeledGraph) -> None:
+        graph.remove_edge(Edge("a", "S", "b"))
+        assert not graph.has_edge("a", "S", "b")
+
+    def test_remove_missing_edge_raises(self, graph: LabeledGraph) -> None:
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(Edge("a", "nope", "b"))
+
+    def test_discard_edge_reports_presence(self, graph: LabeledGraph) -> None:
+        assert graph.discard_edge(Edge("a", "S", "b")) is True
+        assert graph.discard_edge(Edge("a", "S", "b")) is False
+
+    def test_out_edges_filtered_by_label(self, graph: LabeledGraph) -> None:
+        assert set(graph.out_edges("a", "S")) == {Edge("a", "S", "b")}
+        assert set(graph.out_edges("a")) == {
+            Edge("a", "S", "b"),
+            Edge("a", "A", "c"),
+        }
+
+    def test_in_edges_filtered_by_label(self, graph: LabeledGraph) -> None:
+        assert set(graph.in_edges("c", "S")) == {Edge("b", "S", "c")}
+        assert len(graph.in_edges("c")) == 2
+
+    def test_successors_predecessors(self, graph: LabeledGraph) -> None:
+        assert graph.successors("a") == {"b", "c"}
+        assert graph.successors("a", "S") == {"b"}
+        assert graph.predecessors("c") == {"b", "a"}
+
+    def test_degree_counts_both_directions(self, graph: LabeledGraph) -> None:
+        assert graph.degree("c") == 3
+
+    def test_edge_labels(self, graph: LabeledGraph) -> None:
+        assert graph.edge_labels() == {"S", "A"}
+
+    def test_edge_value_object_helpers(self) -> None:
+        edge = Edge("a", "S", "b")
+        assert edge.reversed() == Edge("b", "S", "a")
+        assert edge.relabeled("X") == Edge("a", "X", "b")
+
+
+class TestTraversal:
+    def test_reachable_from_includes_start(self, graph: LabeledGraph) -> None:
+        assert graph.reachable_from("d") == {"d"}
+
+    def test_reachable_from_follows_direction(self, graph: LabeledGraph) -> None:
+        assert graph.reachable_from("a") == {"a", "b", "c", "d"}
+        assert graph.reachable_from("b") == {"b", "c", "d"}
+
+    def test_reachable_from_label_restriction(self, graph: LabeledGraph) -> None:
+        assert graph.reachable_from("a", labels={"A"}) == {"a", "c"}
+
+    def test_reachable_reverse(self, graph: LabeledGraph) -> None:
+        assert graph.reachable_from("c", reverse=True) == {"a", "b", "c"}
+
+    def test_reachable_multi_start(self, graph: LabeledGraph) -> None:
+        assert graph.reachable_from(["b", "d"]) == {"b", "c", "d"}
+
+    def test_reachable_missing_start_raises(self, graph: LabeledGraph) -> None:
+        with pytest.raises(NodeNotFoundError):
+            graph.reachable_from("ghost")
+
+    def test_shortest_path(self, graph: LabeledGraph) -> None:
+        assert graph.shortest_path("a", "d") == ["a", "c", "d"]
+
+    def test_shortest_path_same_node(self, graph: LabeledGraph) -> None:
+        assert graph.shortest_path("a", "a") == ["a"]
+
+    def test_shortest_path_unreachable(self, graph: LabeledGraph) -> None:
+        assert graph.shortest_path("d", "a") is None
+
+    def test_shortest_path_label_restriction(self, graph: LabeledGraph) -> None:
+        assert graph.shortest_path("a", "d", labels={"S"}) == [
+            "a",
+            "b",
+            "c",
+            "d",
+        ]
+
+    def test_topological_order(self, graph: LabeledGraph) -> None:
+        order = graph.topological_order()
+        position = {node: index for index, node in enumerate(order)}
+        assert position["a"] < position["b"] < position["c"] < position["d"]
+
+    def test_topological_order_detects_cycle(self) -> None:
+        g = LabeledGraph()
+        g.add_node("x")
+        g.add_node("y")
+        g.add_edge("x", "S", "y")
+        g.add_edge("y", "S", "x")
+        with pytest.raises(GraphError):
+            g.topological_order()
+
+    def test_topological_order_ignores_other_labels(self) -> None:
+        g = LabeledGraph()
+        g.add_node("x")
+        g.add_node("y")
+        g.add_edge("x", "S", "y")
+        g.add_edge("y", "other", "x")  # cycle only across labels
+        assert g.topological_order(labels={"S"}) == ["x", "y"]
+
+
+class TestWholeGraph:
+    def test_copy_is_deep_for_structure(self, graph: LabeledGraph) -> None:
+        clone = graph.copy()
+        clone.add_node("z")
+        clone.remove_edge(Edge("a", "S", "b"))
+        assert not graph.has_node("z")
+        assert graph.has_edge("a", "S", "b")
+        assert clone.has_node("z")
+
+    def test_subgraph_keeps_internal_edges_only(self, graph: LabeledGraph) -> None:
+        sub = graph.subgraph({"a", "b"})
+        assert set(sub.nodes()) == {"a", "b"}
+        assert sub.has_edge("a", "S", "b")
+        assert sub.edge_count() == 1
+
+    def test_subgraph_missing_node_raises(self, graph: LabeledGraph) -> None:
+        with pytest.raises(NodeNotFoundError):
+            graph.subgraph({"a", "ghost"})
+
+    def test_merge_unions_nodes_and_edges(self) -> None:
+        g1 = LabeledGraph()
+        g1.add_node("a")
+        g2 = LabeledGraph()
+        g2.add_node("a")
+        g2.add_node("b")
+        g2.add_edge("a", "S", "b")
+        g1.merge(g2)
+        assert g1.has_edge("a", "S", "b")
+        assert g1.node_count() == 2
+
+    def test_merge_conflicting_labels_raises(self) -> None:
+        g1 = LabeledGraph()
+        g1.add_node("n", "One")
+        g2 = LabeledGraph()
+        g2.add_node("n", "Two")
+        with pytest.raises(GraphError):
+            g1.merge(g2)
+
+    def test_filter_nodes(self, graph: LabeledGraph) -> None:
+        sub = graph.filter_nodes(lambda node, label: node in ("a", "c"))
+        assert set(sub.nodes()) == {"a", "c"}
+        assert sub.has_edge("a", "A", "c")
+
+    def test_same_structure(self, graph: LabeledGraph) -> None:
+        assert graph.same_structure(graph.copy())
+        other = graph.copy()
+        other.add_node("extra")
+        assert not graph.same_structure(other)
+
+    def test_label_structure_ignores_node_ids(self) -> None:
+        g1 = LabeledGraph()
+        g1.add_node("n1", "Car")
+        g1.add_node("n2", "Cars")
+        g1.add_edge("n1", "S", "n2")
+        g2 = LabeledGraph()
+        g2.add_node("x", "Car")
+        g2.add_node("y", "Cars")
+        g2.add_edge("x", "S", "y")
+        assert g1.label_structure() == g2.label_structure()
+
+    def test_dict_round_trip(self, graph: LabeledGraph) -> None:
+        rebuilt = LabeledGraph.from_dict(graph.to_dict())
+        assert rebuilt.same_structure(graph)

@@ -1,0 +1,183 @@
+"""Unit tests for the Ontology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Edge
+from repro.core.ontology import Ontology, qualify, split_qualified
+from repro.errors import (
+    ConsistencyError,
+    OntologyError,
+    TermNotFoundError,
+)
+
+
+class TestQualifiedNames:
+    def test_qualify(self) -> None:
+        assert qualify("carrier", "Car") == "carrier:Car"
+
+    def test_split_qualified(self) -> None:
+        assert split_qualified("carrier:Car") == ("carrier", "Car")
+
+    def test_split_unqualified(self) -> None:
+        assert split_qualified("Car") == (None, "Car")
+
+    def test_split_only_first_separator(self) -> None:
+        assert split_qualified("a:b:c") == ("a", "b:c")
+
+    def test_round_trip(self) -> None:
+        onto, term = split_qualified(qualify("o", "T:with:colons"))
+        assert (onto, term) == ("o", "T:with:colons")
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self) -> None:
+        with pytest.raises(OntologyError):
+            Ontology("")
+
+    def test_name_with_qualifier_rejected(self) -> None:
+        with pytest.raises(OntologyError):
+            Ontology("bad:name")
+
+    def test_add_term_twice_is_inconsistent(self) -> None:
+        onto = Ontology("o")
+        onto.add_term("Car")
+        with pytest.raises(ConsistencyError):
+            onto.add_term("Car")
+
+    def test_ensure_term_idempotent(self) -> None:
+        onto = Ontology("o")
+        onto.ensure_term("Car")
+        onto.ensure_term("Car")
+        assert onto.term_count() == 1
+
+    def test_remove_term_returns_edges(self, tiny: Ontology) -> None:
+        removed = tiny.remove_term("Dog")
+        assert Edge("Dog", "S", "Animal") in removed
+        assert not tiny.has_term("Dog")
+
+    def test_remove_missing_term_raises(self, tiny: Ontology) -> None:
+        with pytest.raises(TermNotFoundError):
+            tiny.remove_term("Unicorn")
+
+    def test_contains_and_len(self, tiny: Ontology) -> None:
+        assert "Dog" in tiny
+        assert "Unicorn" not in tiny
+        assert len(tiny) == 4
+
+
+class TestRelationships:
+    def test_relate_normalizes_relation_names(self, tiny: Ontology) -> None:
+        edge = tiny.relate("Cat", "SubclassOf", "Dog")
+        assert edge.label == "S"
+
+    def test_relate_accepts_codes(self, tiny: Ontology) -> None:
+        edge = tiny.relate("Cat", "S", "Dog")
+        assert edge.label == "S"
+
+    def test_relate_free_verb_labels(self, tiny: Ontology) -> None:
+        edge = tiny.relate("Dog", "chases", "Cat")
+        assert edge.label == "chases"
+        assert tiny.related("Dog", "chases") == {"Cat"}
+
+    def test_relate_missing_term_raises(self, tiny: Ontology) -> None:
+        with pytest.raises(TermNotFoundError):
+            tiny.relate("Dog", "S", "Unicorn")
+
+    def test_unrelate(self, tiny: Ontology) -> None:
+        tiny.unrelate("Dog", "SubclassOf", "Animal")
+        assert tiny.superclasses("Dog") == set()
+
+    def test_helper_edge_codes(self, tiny: Ontology) -> None:
+        tiny.ensure_term("Rex")
+        edge_i = tiny.add_instance("Rex", "Dog")
+        assert edge_i.label == "I"
+        tiny.ensure_term("Pet")
+        edge_si = tiny.add_implication("Dog", "Pet")
+        assert edge_si.label == "SI"
+
+
+class TestStructuralQueries:
+    def test_superclasses_and_subclasses(self, tiny: Ontology) -> None:
+        assert tiny.superclasses("Dog") == {"Animal"}
+        assert tiny.subclasses("Animal") == {"Dog", "Cat"}
+
+    def test_attributes(self, tiny: Ontology) -> None:
+        assert tiny.attributes("Animal") == {"Name"}
+
+    def test_instances(self, tiny: Ontology) -> None:
+        tiny.ensure_term("Rex")
+        tiny.add_instance("Rex", "Dog")
+        assert tiny.instances("Dog") == {"Rex"}
+
+    def test_ancestors_transitive(self, carrier: Ontology) -> None:
+        assert carrier.ancestors("Car") == {
+            "Cars",
+            "Carrier",
+            "Transportation",
+        }
+
+    def test_descendants_transitive(self, carrier: Ontology) -> None:
+        assert "Car" in carrier.descendants("Transportation")
+        assert "SUV" in carrier.descendants("Carrier")
+
+    def test_ancestors_exclude_self(self, tiny: Ontology) -> None:
+        assert "Dog" not in tiny.ancestors("Dog")
+
+    def test_roots(self, carrier: Ontology) -> None:
+        roots = carrier.roots()
+        assert "Transportation" in roots
+        assert "Car" not in roots
+
+
+class TestValidation:
+    def test_paper_ontologies_valid(
+        self, carrier: Ontology, factory: Ontology
+    ) -> None:
+        assert carrier.is_valid()
+        assert factory.is_valid()
+
+    def test_subclass_cycle_flagged(self, tiny: Ontology) -> None:
+        tiny.relate("Animal", "S", "Dog")  # Dog -S-> Animal -S-> Dog
+        issues = tiny.validate()
+        assert any("cycle" in issue for issue in issues)
+
+    def test_si_cycle_is_legal_equivalence(self, tiny: Ontology) -> None:
+        tiny.add_implication("Dog", "Cat")
+        tiny.add_implication("Cat", "Dog")
+        assert tiny.is_valid()
+
+
+class TestProjectionsAndCopies:
+    def test_copy_independent(self, tiny: Ontology) -> None:
+        clone = tiny.copy()
+        clone.ensure_term("New")
+        assert not tiny.has_term("New")
+
+    def test_copy_rename(self, tiny: Ontology) -> None:
+        assert tiny.copy("renamed").name == "renamed"
+
+    def test_qualified_graph_ids_and_labels(self, tiny: Ontology) -> None:
+        qualified = tiny.qualified_graph()
+        assert qualified.has_node("tiny:Dog")
+        assert qualified.label("tiny:Dog") == "Dog"
+        assert qualified.has_edge("tiny:Dog", "S", "tiny:Animal")
+
+    def test_subontology_induced(self, carrier: Ontology) -> None:
+        sub = carrier.subontology({"Car", "Cars"}, "subset")
+        assert set(sub.terms()) == {"Car", "Cars"}
+        assert sub.graph.has_edge("Car", "S", "Cars")
+        assert sub.name == "subset"
+
+    def test_subontology_missing_term_raises(self, carrier: Ontology) -> None:
+        with pytest.raises(TermNotFoundError):
+            carrier.subontology({"Car", "Ghost"})
+
+    def test_triples_iteration(self, tiny: Ontology) -> None:
+        triples = set(tiny.triples())
+        assert ("Dog", "S", "Animal") in triples
+        assert ("Name", "A", "Animal") in triples
+
+    def test_same_structure(self, tiny: Ontology) -> None:
+        assert tiny.same_structure(tiny.copy("other"))

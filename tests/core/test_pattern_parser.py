@@ -1,0 +1,127 @@
+"""Unit tests for the textual pattern notation parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ontology import Ontology
+from repro.core.pattern_parser import is_variable_token, parse_pattern
+from repro.core.patterns import MatchConfig, find_matches, matches
+from repro.errors import PatternParseError
+
+
+class TestVariableConvention:
+    def test_single_letter_upper_is_variable(self) -> None:
+        assert is_variable_token("O")
+
+    def test_all_caps_is_variable(self) -> None:
+        assert is_variable_token("OWNER")
+
+    def test_mixed_case_is_a_term(self) -> None:
+        assert not is_variable_token("Owner")
+        assert not is_variable_token("owner")
+
+
+class TestPathForm:
+    def test_paper_example_carrier_car_driver(self) -> None:
+        pattern = parse_pattern("carrier:car:driver")
+        assert pattern.ontology == "carrier"
+        labels = [node.label for node in pattern.nodes()]
+        assert labels == ["car", "driver"]
+        assert len(pattern.edges()) == 1
+        assert pattern.edges()[0].label == "*"
+
+    def test_two_segment_is_scoped_single_node(self) -> None:
+        pattern = parse_pattern("carrier:Car")
+        assert pattern.ontology == "carrier"
+        assert [n.label for n in pattern.nodes()] == ["Car"]
+        assert pattern.edges() == []
+
+    def test_long_path(self) -> None:
+        pattern = parse_pattern("o:a:b:c:d")
+        assert len(pattern) == 4
+        assert len(pattern.edges()) == 3
+
+    def test_path_matches_carrier(self, carrier: Ontology) -> None:
+        pattern = parse_pattern("carrier:Car:Cars")
+        assert matches(pattern, carrier.graph)
+
+    def test_case_insensitive_path_matches(self, carrier: Ontology) -> None:
+        pattern = parse_pattern("carrier:car:driver")
+        assert matches(
+            pattern, carrier.graph, MatchConfig(case_insensitive=True)
+        )
+
+
+class TestArgumentForm:
+    def test_paper_example_truck_owner_model(self) -> None:
+        pattern = parse_pattern("truck(O: owner, model)")
+        labels = sorted(n.label for n in pattern.nodes())
+        assert labels == ["model", "owner", "truck"]
+        assert pattern.variables() == ["O"]
+        # Attribute edges point into the parent.
+        targets = {e.target for e in pattern.edges()}
+        truck_id = next(
+            n.node_id for n in pattern.nodes() if n.label == "truck"
+        )
+        assert targets == {truck_id}
+        assert all(e.label == "A" for e in pattern.edges())
+
+    def test_variable_binds_attribute_node(self, carrier: Ontology) -> None:
+        pattern = parse_pattern("Trucks(O: Owner, Model)")
+        bindings = list(find_matches(pattern, carrier.graph))
+        assert len(bindings) == 1
+        assert bindings[0].var("O") == "Owner"
+
+    def test_scoped_argument_form(self) -> None:
+        pattern = parse_pattern("carrier:Trucks(Owner)")
+        assert pattern.ontology == "carrier"
+        assert len(pattern) == 2
+
+    def test_empty_argument_list(self) -> None:
+        pattern = parse_pattern("truck()")
+        assert len(pattern) == 1
+
+
+class TestCurlyForm:
+    def test_nested_hierarchy(self) -> None:
+        pattern = parse_pattern("truck{owner{name}, model}")
+        assert len(pattern) == 4
+        assert len(pattern.edges()) == 3
+
+    def test_nested_matches_structure(self, tiny: Ontology) -> None:
+        # tiny: Name -A-> Animal
+        pattern = parse_pattern("Animal{Name}")
+        assert matches(pattern, tiny.graph)
+
+    def test_mixed_forms(self) -> None:
+        pattern = parse_pattern("a(B: b{c}, d)")
+        assert len(pattern) == 4
+        assert "B" in pattern.variables()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            ":",
+            "a:",
+            "a:b:",
+            "a(",
+            "a(b",
+            "a(b,)",  # trailing comma (empty element)
+            "a{b",
+            "(a)",
+            "a b",
+            "a(X:)",
+        ],
+    )
+    def test_malformed_patterns_raise(self, bad: str) -> None:
+        with pytest.raises(PatternParseError):
+            parse_pattern(bad)
+
+    def test_trailing_garbage_rejected(self) -> None:
+        with pytest.raises(PatternParseError):
+            parse_pattern("a(b) extra")

@@ -1,0 +1,181 @@
+"""Unit tests for graph patterns and the strict/fuzzy matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import LabeledGraph
+from repro.core.ontology import Ontology
+from repro.core.patterns import (
+    ANY_LABEL,
+    MatchConfig,
+    Pattern,
+    find_matches,
+    first_match,
+    matches,
+)
+from repro.errors import PatternError
+
+
+@pytest.fixture
+def graph(carrier: Ontology) -> LabeledGraph:
+    return carrier.graph
+
+
+class TestPatternConstruction:
+    def test_duplicate_node_id_rejected(self) -> None:
+        pattern = Pattern()
+        pattern.add_node("n", "Car")
+        with pytest.raises(PatternError):
+            pattern.add_node("n", "Cars")
+
+    def test_edge_requires_known_endpoints(self) -> None:
+        pattern = Pattern()
+        pattern.add_node("n", "Car")
+        with pytest.raises(PatternError):
+            pattern.add_edge("n", "S", "ghost")
+
+    def test_edge_label_empty_rejected(self) -> None:
+        pattern = Pattern()
+        pattern.add_node("a", "Car")
+        pattern.add_node("b", "Cars")
+        with pytest.raises(PatternError):
+            pattern.add_edge("a", "", "b")
+
+    def test_single_factory(self) -> None:
+        pattern = Pattern.single("Car", ontology="carrier")
+        assert len(pattern) == 1
+        assert pattern.ontology == "carrier"
+
+    def test_path_factory(self) -> None:
+        pattern = Pattern.path(["Car", "Cars", "Carrier"], edge_label="S")
+        assert len(pattern) == 3
+        assert len(pattern.edges()) == 2
+
+    def test_path_needs_labels(self) -> None:
+        with pytest.raises(PatternError):
+            Pattern.path([])
+
+    def test_variables_listed(self) -> None:
+        pattern = Pattern()
+        pattern.add_node("n0", "Trucks")
+        pattern.add_node("n1", None, "O")
+        pattern.add_edge("n1", "A", "n0")
+        assert pattern.variables() == ["O"]
+
+
+class TestStrictMatching:
+    def test_single_node_match(self, graph: LabeledGraph) -> None:
+        assert matches(Pattern.single("Car"), graph)
+
+    def test_single_node_no_match(self, graph: LabeledGraph) -> None:
+        assert not matches(Pattern.single("Spaceship"), graph)
+
+    def test_empty_pattern_raises(self, graph: LabeledGraph) -> None:
+        with pytest.raises(PatternError):
+            list(find_matches(Pattern(), graph))
+
+    def test_edge_condition_enforced(self, graph: LabeledGraph) -> None:
+        pattern = Pattern.path(["Car", "Cars"], edge_label="S")
+        assert matches(pattern, graph)
+        wrong_direction = Pattern.path(["Cars", "Car"], edge_label="S")
+        assert not matches(wrong_direction, graph)
+
+    def test_edge_label_must_agree(self, graph: LabeledGraph) -> None:
+        pattern = Pattern.path(["Car", "Cars"], edge_label="A")
+        assert not matches(pattern, graph)
+
+    def test_any_label_wildcard(self, graph: LabeledGraph) -> None:
+        pattern = Pattern.path(["Car", "Driver"], edge_label=ANY_LABEL)
+        assert matches(pattern, graph)  # the drivenBy edge
+
+    def test_binding_exposes_mapping(self, graph: LabeledGraph) -> None:
+        pattern = Pattern.path(["Car", "Cars"], edge_label="S")
+        binding = first_match(pattern, graph)
+        assert binding is not None
+        assert binding["n0"] == "Car"
+        assert binding.matched_nodes() == frozenset({"Car", "Cars"})
+
+    def test_variable_binding(self, graph: LabeledGraph) -> None:
+        pattern = Pattern()
+        pattern.add_node("truck", "Trucks")
+        pattern.add_node("owner", None, "O")
+        pattern.add_edge("owner", "A", "truck")
+        variables = {b.var("O") for b in find_matches(pattern, graph)}
+        # Trucks has A-edges from Price, Owner, Model.
+        assert variables == {"Price", "Owner", "Model"}
+
+    def test_multi_edge_pattern(self, graph: LabeledGraph) -> None:
+        pattern = Pattern()
+        pattern.add_node("t", "Trucks")
+        pattern.add_node("o", "Owner")
+        pattern.add_node("m", "Model")
+        pattern.add_edge("o", "A", "t")
+        pattern.add_edge("m", "A", "t")
+        assert matches(pattern, graph)
+
+    def test_limit_stops_enumeration(self, graph: LabeledGraph) -> None:
+        pattern = Pattern()
+        pattern.add_node("x", None, "X")
+        results = list(find_matches(pattern, graph, limit=3))
+        assert len(results) == 3
+
+    def test_wildcard_matches_every_node(self, graph: LabeledGraph) -> None:
+        pattern = Pattern()
+        pattern.add_node("x", None, "X")
+        results = list(find_matches(pattern, graph))
+        assert len(results) == graph.node_count()
+
+    def test_homomorphism_default_not_injective(self) -> None:
+        g = LabeledGraph()
+        g.add_node("n", "A")
+        g.add_edge("n", "r", "n")  # self loop
+        pattern = Pattern()
+        pattern.add_node("p1", "A")
+        pattern.add_node("p2", "A")
+        pattern.add_edge("p1", "r", "p2")
+        # Non-injective: both pattern nodes may map to the single node.
+        assert matches(pattern, g)
+        assert not matches(pattern, g, MatchConfig(injective=True))
+
+
+class TestFuzzyMatching:
+    def test_case_insensitive(self, graph: LabeledGraph) -> None:
+        pattern = Pattern.single("car")
+        assert not matches(pattern, graph)
+        assert matches(pattern, graph, MatchConfig(case_insensitive=True))
+
+    def test_synonyms_relax_condition_one(self, graph: LabeledGraph) -> None:
+        pattern = Pattern.single("Automobile")
+        config = MatchConfig.with_synonyms([("Automobile", "Car")])
+        assert matches(pattern, graph, config)
+
+    def test_synonyms_are_symmetric(self, graph: LabeledGraph) -> None:
+        pattern = Pattern.single("Car")
+        config = MatchConfig.with_synonyms([("Automobile", "Car")])
+        # Car still matches itself under the synonym config.
+        assert matches(pattern, graph, config)
+
+    def test_relax_edge_labels(self, graph: LabeledGraph) -> None:
+        pattern = Pattern.path(["Car", "Cars"], edge_label="A")
+        assert matches(pattern, graph, MatchConfig(relax_edge_labels=True))
+
+    def test_node_equiv_escape_hatch(self, graph: LabeledGraph) -> None:
+        config = MatchConfig(
+            node_equiv=lambda p, g: p == "AnyVehicle" and g in ("Car", "SUV")
+        )
+        pattern = Pattern.single("AnyVehicle")
+        found = {
+            b["n0"] for b in find_matches(pattern, graph, config)
+        }
+        assert found == {"Car", "SUV"}
+
+    def test_edge_equiv_escape_hatch(self, graph: LabeledGraph) -> None:
+        config = MatchConfig(edge_equiv=lambda p, g: {p, g} == {"S", "A"})
+        pattern = Pattern.path(["Car", "Cars"], edge_label="A")
+        assert matches(pattern, graph, config)
+
+    def test_strict_config_factory(self) -> None:
+        config = MatchConfig.strict()
+        assert not config.case_insensitive
+        assert not config.relax_edge_labels

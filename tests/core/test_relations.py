@@ -1,0 +1,112 @@
+"""Unit tests for the relationship vocabulary and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relations import (
+    ATTRIBUTE_OF,
+    INSTANCE_OF,
+    SEMANTIC_IMPLICATION,
+    SI_BRIDGE,
+    SUBCLASS_OF,
+    RelationRegistry,
+    RelationType,
+    standard_registry,
+)
+from repro.errors import OntologyError
+
+
+class TestRelationType:
+    def test_standard_codes_match_the_paper(self) -> None:
+        assert SUBCLASS_OF.code == "S"
+        assert ATTRIBUTE_OF.code == "A"
+        assert INSTANCE_OF.code == "I"
+        assert SEMANTIC_IMPLICATION.code == "SI"
+
+    def test_subclass_is_transitive(self) -> None:
+        assert SUBCLASS_OF.transitive
+
+    def test_attribute_is_not_transitive(self) -> None:
+        assert not ATTRIBUTE_OF.transitive
+
+    def test_bridge_implies_semantic_implication(self) -> None:
+        assert "SemanticImplication" in SI_BRIDGE.implies
+
+    def test_empty_name_rejected(self) -> None:
+        with pytest.raises(OntologyError):
+            RelationType("", "X")
+
+    def test_empty_code_rejected(self) -> None:
+        with pytest.raises(OntologyError):
+            RelationType("Thing", "")
+
+
+class TestRegistry:
+    def test_standard_registry_contents(self) -> None:
+        registry = standard_registry()
+        assert len(registry) == 5
+        assert "SubclassOf" in registry
+        assert "S" in registry
+
+    def test_lookup_by_name_and_code(self) -> None:
+        registry = standard_registry()
+        assert registry.get("SubclassOf") is registry.get("S")
+        assert registry.require("SI").name == "SemanticImplication"
+
+    def test_require_unknown_raises(self) -> None:
+        with pytest.raises(OntologyError):
+            standard_registry().require("NoSuchRelation")
+
+    def test_code_for_normalizes(self) -> None:
+        registry = standard_registry()
+        assert registry.code_for("SubclassOf") == "S"
+        assert registry.code_for("S") == "S"
+
+    def test_register_identical_twice_ok(self) -> None:
+        registry = standard_registry()
+        registry.register(SUBCLASS_OF)
+        assert len(registry) == 5
+
+    def test_register_conflicting_properties_raises(self) -> None:
+        registry = standard_registry()
+        imposter = RelationType("SubclassOf", "S", transitive=False)
+        with pytest.raises(OntologyError):
+            registry.register(imposter)
+
+    def test_register_code_collision_raises(self) -> None:
+        registry = standard_registry()
+        clash = RelationType("Other", "S")
+        with pytest.raises(OntologyError):
+            registry.register(clash)
+
+    def test_transitive_codes(self) -> None:
+        assert standard_registry().transitive_codes() == {"S", "SI"}
+
+    def test_symmetric_codes_default_empty(self) -> None:
+        assert standard_registry().symmetric_codes() == set()
+
+    def test_copy_is_independent(self) -> None:
+        registry = standard_registry()
+        clone = registry.copy()
+        clone.register(RelationType("PartOf", "P", transitive=True))
+        assert "PartOf" in clone
+        assert "PartOf" not in registry
+
+    def test_merged_with_unions_vocabularies(self) -> None:
+        left = RelationRegistry([SUBCLASS_OF])
+        right = RelationRegistry([ATTRIBUTE_OF])
+        merged = left.merged_with(right)
+        assert "SubclassOf" in merged
+        assert "AttributeOf" in merged
+
+    def test_merged_with_conflict_raises(self) -> None:
+        left = RelationRegistry([SUBCLASS_OF])
+        right = RelationRegistry([RelationType("SubclassOf", "S",
+                                               transitive=False)])
+        with pytest.raises(OntologyError):
+            left.merged_with(right)
+
+    def test_iteration_yields_relation_types(self) -> None:
+        names = {relation.name for relation in standard_registry()}
+        assert "SIBridge" in names

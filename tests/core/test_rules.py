@@ -1,0 +1,283 @@
+"""Unit tests for the articulation rule language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import (
+    AndOperand,
+    ArticulationRuleSet,
+    FunctionalRule,
+    HornClause,
+    ImplicationRule,
+    OrOperand,
+    TermOperand,
+    TermRef,
+    parse_rule,
+    parse_rules,
+)
+from repro.errors import RuleError, RuleParseError
+
+
+class TestTermRef:
+    def test_parse_qualified(self) -> None:
+        ref = TermRef.parse("carrier:Car")
+        assert ref == TermRef("carrier", "Car")
+
+    def test_parse_unqualified(self) -> None:
+        assert TermRef.parse("Owner") == TermRef(None, "Owner")
+
+    def test_parse_empty_raises(self) -> None:
+        with pytest.raises(RuleError):
+            TermRef.parse("  ")
+
+    def test_parse_empty_term_raises(self) -> None:
+        with pytest.raises(RuleError):
+            TermRef.parse("carrier:")
+
+    def test_qualified_with_default(self) -> None:
+        assert TermRef(None, "X").qualified("art") == "art:X"
+        assert TermRef("o", "X").qualified("art") == "o:X"
+
+    def test_qualified_without_default_raises(self) -> None:
+        with pytest.raises(RuleError):
+            TermRef(None, "X").qualified()
+
+    def test_str(self) -> None:
+        assert str(TermRef("o", "X")) == "o:X"
+        assert str(TermRef(None, "X")) == "X"
+
+
+class TestParsingSimple:
+    def test_simple_rule(self) -> None:
+        rule = parse_rule("carrier:Car => factory:Vehicle")
+        assert isinstance(rule, ImplicationRule)
+        assert rule.is_simple()
+        assert str(rule) == "carrier:Car => factory:Vehicle"
+
+    def test_cascade(self) -> None:
+        rule = parse_rule(
+            "carrier:Car => transport:PassengerCar => factory:Vehicle"
+        )
+        assert isinstance(rule, ImplicationRule)
+        assert len(rule.steps) == 3
+        assert not rule.is_simple()
+
+    def test_unqualified_steps(self) -> None:
+        rule = parse_rule("Owner => Person")
+        assert isinstance(rule, ImplicationRule)
+        first = rule.steps[0]
+        assert isinstance(first, TermOperand)
+        assert first.ref.ontology is None
+
+    def test_source_tag(self) -> None:
+        rule = parse_rule("a:X => b:Y", source="skat")
+        assert isinstance(rule, ImplicationRule)
+        assert rule.source == "skat"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "carrier:Car",
+            "=> factory:Vehicle",
+            "carrier:Car =>",
+            "carrier:Car => => factory:Vehicle",
+            "a:X ^ b:Y => c:Z",  # compound must be parenthesized
+        ],
+    )
+    def test_malformed_rules_raise(self, bad: str) -> None:
+        with pytest.raises(RuleParseError):
+            parse_rule(bad)
+
+
+class TestParsingCompound:
+    def test_conjunction(self) -> None:
+        rule = parse_rule(
+            "(factory:CargoCarrier ^ factory:Vehicle) => carrier:Trucks"
+        )
+        assert isinstance(rule, ImplicationRule)
+        assert isinstance(rule.premise, AndOperand)
+        assert rule.premise.default_label() == "CargoCarrierVehicle"
+
+    def test_conjunction_ampersand_synonym(self) -> None:
+        rule = parse_rule("(a:X & a:Y) => b:Z")
+        assert isinstance(rule, ImplicationRule)
+        assert isinstance(rule.premise, AndOperand)
+
+    def test_disjunction(self) -> None:
+        rule = parse_rule(
+            "factory:Vehicle => (carrier:Cars | carrier:Trucks)"
+        )
+        assert isinstance(rule, ImplicationRule)
+        assert isinstance(rule.consequence, OrOperand)
+        assert rule.consequence.default_label() == "CarsTrucks"
+
+    def test_as_clause_overrides_label(self) -> None:
+        rule = parse_rule("(a:X ^ a:Y) => b:Z AS Nice")
+        assert isinstance(rule, ImplicationRule)
+        assert rule.label == "Nice"
+        assert "AS Nice" in str(rule)
+
+    def test_three_way_conjunction(self) -> None:
+        rule = parse_rule("(a:X ^ a:Y ^ a:Z) => b:W")
+        assert isinstance(rule, ImplicationRule)
+        assert isinstance(rule.premise, AndOperand)
+        assert len(rule.premise.operands) == 3
+
+    def test_two_compounds_rejected(self) -> None:
+        with pytest.raises(RuleParseError):
+            parse_rule("(a:X ^ a:Y) => (b:Z | b:W)")
+
+    def test_compound_needs_two_operands(self) -> None:
+        with pytest.raises(RuleError):
+            AndOperand((TermOperand(TermRef("a", "X")),))
+        with pytest.raises(RuleError):
+            OrOperand((TermOperand(TermRef("a", "X")),))
+
+    def test_parenthesized_single_term_ok(self) -> None:
+        rule = parse_rule("(a:X) => b:Y")
+        assert isinstance(rule, ImplicationRule)
+        assert rule.is_simple()
+
+
+class TestParsingFunctional:
+    def test_functional_rule(self) -> None:
+        rule = parse_rule(
+            "DGToEuroFn() : carrier:DutchGuilders => transport:Euro"
+        )
+        assert isinstance(rule, FunctionalRule)
+        assert rule.name == "DGToEuroFn"
+        assert rule.edge_label() == "DGToEuroFn()"
+
+    def test_functional_without_executable_raises_on_apply(self) -> None:
+        rule = parse_rule("Fn() : a:X => b:Y")
+        assert isinstance(rule, FunctionalRule)
+        with pytest.raises(RuleError):
+            rule.apply(1.0)
+
+    def test_functional_with_callables(self) -> None:
+        rule = FunctionalRule(
+            "Double",
+            TermRef("a", "X"),
+            TermRef("b", "Y"),
+            fn=lambda v: v * 2,
+            inverse=lambda v: v / 2,
+        )
+        assert rule.apply(3) == 6
+        assert rule.apply_inverse(6) == 3
+        assert rule.inverse_edge_label() == "DoubleInverse()"
+
+    def test_functional_inverse_name(self) -> None:
+        rule = FunctionalRule(
+            "PSToEuroFn",
+            TermRef("carrier", "PoundSterling"),
+            TermRef("transport", "Euro"),
+            fn=lambda v: v,
+            inverse=lambda v: v,
+            inverse_name="EuroToPSFn",
+        )
+        assert rule.inverse_edge_label() == "EuroToPSFn()"
+
+    def test_functional_needs_single_arrow(self) -> None:
+        with pytest.raises(RuleParseError):
+            parse_rule("Fn() : a:X => b:Y => c:Z")
+
+
+class TestAtomicBreakdown:
+    def test_simple_atomic(self) -> None:
+        rule = parse_rule("a:X => b:Y")
+        assert isinstance(rule, ImplicationRule)
+        assert rule.atomic_implications("art") == [("a:X", "b:Y")]
+
+    def test_cascade_atomic(self) -> None:
+        rule = parse_rule("a:X => art:M => b:Y")
+        assert isinstance(rule, ImplicationRule)
+        assert rule.atomic_implications("art") == [
+            ("a:X", "art:M"),
+            ("art:M", "b:Y"),
+        ]
+
+    def test_unqualified_resolves_to_articulation(self) -> None:
+        rule = parse_rule("Owner => Person")
+        assert isinstance(rule, ImplicationRule)
+        assert rule.atomic_implications("art") == [("art:Owner", "art:Person")]
+
+    def test_compound_uses_synthesized_name(self) -> None:
+        rule = parse_rule("(a:X ^ a:Y) => b:Z AS XY")
+        assert isinstance(rule, ImplicationRule)
+        assert rule.atomic_implications("art") == [("art:XY", "b:Z")]
+
+    def test_to_horn(self) -> None:
+        rule = parse_rule("a:X => b:Y")
+        assert isinstance(rule, ImplicationRule)
+        clauses = rule.to_horn("art")
+        assert clauses == [HornClause(("implies", "a:X", "b:Y"))]
+
+
+class TestRuleSet:
+    def test_dedup(self) -> None:
+        rules = ArticulationRuleSet()
+        assert rules.add(parse_rule("a:X => b:Y"))
+        assert not rules.add(parse_rule("a:X => b:Y"))
+        assert len(rules) == 1
+
+    def test_contains(self) -> None:
+        rules = ArticulationRuleSet()
+        rule = parse_rule("a:X => b:Y")
+        rules.add(rule)
+        assert rule in rules
+
+    def test_partition_by_kind(self) -> None:
+        rules = parse_rules(
+            """
+            a:X => b:Y
+            Fn() : a:U => b:V
+            """
+        )
+        assert len(rules.implications()) == 1
+        assert len(rules.functional()) == 1
+
+    def test_parse_rules_skips_comments_and_blanks(self) -> None:
+        rules = parse_rules(
+            """
+            # a comment
+            a:X => b:Y   # trailing comment
+
+            """
+        )
+        assert len(rules) == 1
+
+    def test_ontologies_mentioned(self) -> None:
+        rules = parse_rules(
+            """
+            a:X => b:Y
+            Fn() : c:U => d:V
+            """
+        )
+        assert rules.ontologies() == {"a", "b", "c", "d"}
+
+    def test_copy_independent(self) -> None:
+        rules = parse_rules("a:X => b:Y")
+        clone = rules.copy()
+        clone.add(parse_rule("a:P => b:Q"))
+        assert len(rules) == 1
+        assert len(clone) == 2
+
+    def test_to_horn_collects_implications(self) -> None:
+        rules = parse_rules(
+            """
+            a:X => b:Y
+            a:P => art:M => b:Q
+            """
+        )
+        clauses = rules.to_horn("art")
+        assert len(clauses) == 3
+
+    def test_extend_counts_new(self) -> None:
+        rules = parse_rules("a:X => b:Y")
+        added = rules.extend(
+            [parse_rule("a:X => b:Y"), parse_rule("a:P => b:Q")]
+        )
+        assert added == 1

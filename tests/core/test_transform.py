@@ -1,0 +1,151 @@
+"""Unit tests for the NA/ND/EA/ED primitives and the transform log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Edge, LabeledGraph
+from repro.core.transform import (
+    EdgeAddition,
+    EdgeDeletion,
+    NodeAddition,
+    NodeDeletion,
+    TransformLog,
+    apply_all,
+)
+from repro.errors import GraphError
+
+
+@pytest.fixture
+def graph() -> LabeledGraph:
+    g = LabeledGraph()
+    g.add_node("a")
+    g.add_node("b")
+    g.add_edge("a", "S", "b")
+    return g
+
+
+class TestNodeAddition:
+    def test_adds_node_and_adjacent_edges(self, graph: LabeledGraph) -> None:
+        op = NodeAddition("c", "c", (Edge("c", "S", "a"), Edge("b", "A", "c")))
+        op.apply(graph)
+        assert graph.has_node("c")
+        assert graph.has_edge("c", "S", "a")
+        assert graph.has_edge("b", "A", "c")
+
+    def test_rejects_non_adjacent_edges(self, graph: LabeledGraph) -> None:
+        op = NodeAddition("c", "c", (Edge("a", "S", "b"),))
+        with pytest.raises(GraphError):
+            op.apply(graph)
+
+    def test_inverts_to_deletion(self) -> None:
+        op = NodeAddition("c", "c", (Edge("c", "S", "a"),))
+        inverse = op.invert()
+        assert isinstance(inverse, NodeDeletion)
+        assert inverse.node_id == "c"
+
+    def test_cost(self) -> None:
+        assert NodeAddition("c", "c", (Edge("c", "S", "a"),)).cost() == 2
+
+
+class TestNodeDeletion:
+    def test_apply_records_removed_structure(self, graph: LabeledGraph) -> None:
+        recorded = NodeDeletion("a").apply(graph)
+        assert recorded.label == "a"
+        assert Edge("a", "S", "b") in recorded.edges
+        assert not graph.has_node("a")
+
+    def test_invert_unapplied_raises(self) -> None:
+        with pytest.raises(GraphError):
+            NodeDeletion("a").invert()
+
+    def test_invert_after_apply_restores(self, graph: LabeledGraph) -> None:
+        recorded = NodeDeletion("a").apply(graph)
+        recorded.invert().apply(graph)
+        assert graph.has_node("a")
+        assert graph.has_edge("a", "S", "b")
+
+
+class TestEdgeOps:
+    def test_edge_addition(self, graph: LabeledGraph) -> None:
+        EdgeAddition((Edge("b", "A", "a"),)).apply(graph)
+        assert graph.has_edge("b", "A", "a")
+
+    def test_edge_addition_inverts_to_deletion(self, graph: LabeledGraph) -> None:
+        op = EdgeAddition((Edge("b", "A", "a"),))
+        op.apply(graph)
+        op.invert().apply(graph)
+        assert not graph.has_edge("b", "A", "a")
+
+    def test_edge_deletion(self, graph: LabeledGraph) -> None:
+        EdgeDeletion((Edge("a", "S", "b"),)).apply(graph)
+        assert graph.edge_count() == 0
+
+    def test_edge_ops_cost_counts_edges(self) -> None:
+        edges = (Edge("a", "S", "b"), Edge("b", "S", "a"))
+        assert EdgeAddition(edges).cost() == 2
+        assert EdgeDeletion(edges).cost() == 2
+
+
+class TestTransformLog:
+    def test_apply_journals_operations(self, graph: LabeledGraph) -> None:
+        log = TransformLog()
+        log.apply(graph, NodeAddition("c", "c"))
+        log.apply(graph, EdgeAddition((Edge("c", "S", "a"),)))
+        assert len(log) == 2
+        assert log.total_cost() == 2
+
+    def test_undo_reverses_last_op(self, graph: LabeledGraph) -> None:
+        log = TransformLog()
+        log.apply(graph, NodeAddition("c", "c"))
+        undone = log.undo(graph)
+        assert isinstance(undone, NodeAddition)
+        assert not graph.has_node("c")
+        assert len(log) == 0
+
+    def test_undo_empty_returns_none(self, graph: LabeledGraph) -> None:
+        assert TransformLog().undo(graph) is None
+
+    def test_undo_node_deletion_restores_edges(self, graph: LabeledGraph) -> None:
+        log = TransformLog()
+        log.apply(graph, NodeDeletion("a"))
+        assert not graph.has_node("a")
+        log.undo(graph)
+        assert graph.has_edge("a", "S", "b")
+
+    def test_rollback_to_checkpoint(self, graph: LabeledGraph) -> None:
+        log = TransformLog()
+        log.apply(graph, NodeAddition("c", "c"))
+        mark = log.checkpoint()
+        log.apply(graph, NodeAddition("d", "d"))
+        log.apply(graph, EdgeAddition((Edge("d", "S", "c"),)))
+        undone = log.rollback(graph, to=mark)
+        assert undone == 2
+        assert graph.has_node("c")
+        assert not graph.has_node("d")
+
+    def test_full_rollback_restores_original(self, graph: LabeledGraph) -> None:
+        snapshot = graph.structure()
+        log = TransformLog()
+        log.apply(graph, NodeAddition("x", "x", (Edge("x", "S", "a"),)))
+        log.apply(graph, NodeDeletion("b"))
+        log.apply(graph, EdgeAddition((Edge("x", "A", "a"),)))
+        log.rollback(graph)
+        assert graph.structure() == snapshot
+
+    def test_apply_all_helper(self, graph: LabeledGraph) -> None:
+        log = apply_all(
+            graph,
+            [
+                NodeAddition("c", "c"),
+                EdgeAddition((Edge("c", "S", "b"),)),
+            ],
+        )
+        assert log.total_cost() == 2
+        assert graph.has_edge("c", "S", "b")
+
+    def test_iteration(self, graph: LabeledGraph) -> None:
+        log = TransformLog()
+        log.apply(graph, NodeAddition("c", "c"))
+        kinds = [type(op).__name__ for op in log]
+        assert kinds == ["NodeAddition"]

@@ -1,0 +1,97 @@
+"""Unit tests for the virtual unified ontology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.articulation import Articulation
+from repro.core.unified import UnifiedOntology
+from repro.errors import AlgebraError, TermNotFoundError
+
+
+@pytest.fixture
+def unified(transport: Articulation) -> UnifiedOntology:
+    return UnifiedOntology(transport)
+
+
+class TestResolution:
+    def test_resolve_source_term(self, unified: UnifiedOntology) -> None:
+        owner, term = unified.resolve("carrier:Car")
+        assert owner.name == "carrier"
+        assert term == "Car"
+
+    def test_resolve_articulation_term(self, unified: UnifiedOntology) -> None:
+        owner, term = unified.resolve("transport:Vehicle")
+        assert owner.name == "transport"
+
+    def test_resolve_unknown_ontology(self, unified: UnifiedOntology) -> None:
+        with pytest.raises(TermNotFoundError):
+            unified.resolve("nowhere:X")
+
+    def test_resolve_unknown_term(self, unified: UnifiedOntology) -> None:
+        with pytest.raises(TermNotFoundError):
+            unified.resolve("carrier:Ghost")
+
+    def test_resolve_unqualified_rejected(self, unified: UnifiedOntology) -> None:
+        with pytest.raises(AlgebraError):
+            unified.resolve("Car")
+
+    def test_has_term(self, unified: UnifiedOntology) -> None:
+        assert unified.has_term("carrier:Car")
+        assert not unified.has_term("carrier:Ghost")
+        assert not unified.has_term("Car")
+
+    def test_terms_cover_everything(self, unified: UnifiedOntology) -> None:
+        terms = set(unified.terms())
+        assert "carrier:Car" in terms
+        assert "factory:Vehicle" in terms
+        assert "transport:Euro" in terms
+        assert len(terms) == unified.term_count()
+
+
+class TestSemanticNavigation:
+    def test_implies_through_bridge(self, unified: UnifiedOntology) -> None:
+        assert unified.implies("carrier:Car", "transport:Vehicle")
+
+    def test_implies_through_cascade(self, unified: UnifiedOntology) -> None:
+        assert unified.implies("carrier:Car", "factory:Vehicle")
+
+    def test_implies_combines_local_subclass_and_bridges(
+        self, unified: UnifiedOntology
+    ) -> None:
+        # factory:Truck -S-> GoodsVehicle -S-> Vehicle -SIB-> transport:Vehicle
+        assert unified.implies("factory:Truck", "transport:Vehicle")
+
+    def test_implies_is_directed(self, unified: UnifiedOntology) -> None:
+        assert not unified.implies("transport:Vehicle", "carrier:Car")
+
+    def test_specializations(self, unified: UnifiedOntology) -> None:
+        specs = unified.specializations("transport:Vehicle")
+        assert "carrier:Car" in specs
+        assert "factory:Truck" in specs
+        assert "carrier:SUV" not in specs
+
+    def test_generalizations(self, unified: UnifiedOntology) -> None:
+        gens = unified.generalizations("carrier:Car")
+        assert "transport:Vehicle" in gens
+        assert "carrier:Transportation" in gens
+
+    def test_equivalents_via_si_cycle(self, unified: UnifiedOntology) -> None:
+        assert unified.equivalents("factory:Vehicle") >= {"transport:Vehicle"}
+
+    def test_equivalents_excludes_self(self, unified: UnifiedOntology) -> None:
+        assert "factory:Vehicle" not in unified.equivalents("factory:Vehicle")
+
+
+class TestMaterialization:
+    def test_materialize_flattens(self, unified: UnifiedOntology) -> None:
+        merged = unified.materialize()
+        assert merged.has_term("carrier.Car")
+        assert merged.has_term("transport.Vehicle")
+        assert merged.is_valid()
+
+    def test_materialize_preserves_edge_count(
+        self, unified: UnifiedOntology
+    ) -> None:
+        merged = unified.materialize()
+        assert merged.graph.edge_count() == unified.graph().edge_count()

@@ -1,0 +1,263 @@
+"""Unit tests for the external-representation wrappers (paper §2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.articulation import Articulation
+from repro.core.ontology import Ontology
+from repro.errors import FormatError
+from repro.formats import adjacency, dot, idl, rdf, xmlfmt
+
+
+class TestAdjacency:
+    def test_load_basic(self) -> None:
+        onto = adjacency.loads(
+            """
+            ontology carrier
+            Car -S-> Cars
+            Price -A-> Cars
+            MyCar -I-> Cars
+            Car -drivenBy-> Driver
+            """
+        )
+        assert onto.name == "carrier"
+        assert onto.graph.has_edge("Car", "S", "Cars")
+        assert onto.graph.has_edge("Car", "drivenBy", "Driver")
+
+    def test_term_lines_and_comments(self) -> None:
+        onto = adjacency.loads(
+            """
+            # a comment
+            term Lonely
+            A -S-> B   # trailing comment
+            """
+        )
+        assert onto.has_term("Lonely")
+        assert onto.graph.has_edge("A", "S", "B")
+
+    def test_name_override(self) -> None:
+        onto = adjacency.loads("ontology x\nA -S-> B", name="y")
+        assert onto.name == "y"
+
+    def test_header_must_come_first(self) -> None:
+        with pytest.raises(FormatError):
+            adjacency.loads("A -S-> B\nontology late")
+
+    def test_bad_line_raises_with_lineno(self) -> None:
+        with pytest.raises(FormatError, match="line 2"):
+            adjacency.loads("A -S-> B\nthis is not a line")
+
+    def test_round_trip(self, carrier: Ontology) -> None:
+        rebuilt = adjacency.loads(adjacency.dumps(carrier))
+        assert rebuilt.same_structure(carrier)
+        assert rebuilt.name == carrier.name
+
+    def test_file_round_trip(self, tmp_path, factory: Ontology) -> None:
+        path = tmp_path / "factory.adj"
+        adjacency.dump(factory, path)
+        assert adjacency.load(path).same_structure(factory)
+
+
+class TestXml:
+    def test_flat_form_round_trip(self, carrier: Ontology) -> None:
+        rebuilt = xmlfmt.loads(xmlfmt.dumps(carrier))
+        assert rebuilt.same_structure(carrier)
+        assert rebuilt.name == carrier.name
+
+    def test_flat_form_requires_ontology_root(self) -> None:
+        with pytest.raises(FormatError):
+            xmlfmt.loads("<nope/>")
+
+    def test_flat_form_rejects_unknown_elements(self) -> None:
+        with pytest.raises(FormatError):
+            xmlfmt.loads("<ontology><mystery/></ontology>")
+
+    def test_flat_form_validates_attributes(self) -> None:
+        with pytest.raises(FormatError):
+            xmlfmt.loads('<ontology><relationship source="A"/></ontology>')
+        with pytest.raises(FormatError):
+            xmlfmt.loads("<ontology><term/></ontology>")
+
+    def test_malformed_xml_raises(self) -> None:
+        with pytest.raises(FormatError):
+            xmlfmt.loads("<ontology><term")
+
+    def test_nested_document_form(self) -> None:
+        onto = xmlfmt.loads_nested(
+            """
+            <carrier>
+              <Cars>
+                <Car/>
+                <SUV/>
+              </Cars>
+            </carrier>
+            """
+        )
+        assert onto.name == "carrier"
+        assert onto.graph.has_edge("Car", "S", "Cars")
+        assert onto.graph.has_edge("SUV", "S", "Cars")
+
+    def test_nested_repeated_tags_merge(self) -> None:
+        onto = xmlfmt.loads_nested(
+            "<o><A><B/></A><C><B/></C></o>"
+        )
+        assert onto.term_count() == 3
+        assert onto.graph.has_edge("B", "S", "A")
+        assert onto.graph.has_edge("B", "S", "C")
+
+    def test_nested_custom_relation(self) -> None:
+        onto = xmlfmt.loads_nested(
+            "<o><Car><Price/></Car></o>", nested_relation="AttributeOf"
+        )
+        assert onto.graph.has_edge("Price", "A", "Car")
+
+    def test_file_round_trip(self, tmp_path, factory: Ontology) -> None:
+        path = tmp_path / "factory.xml"
+        xmlfmt.dump(factory, path)
+        assert xmlfmt.load(path).same_structure(factory)
+
+
+class TestIdl:
+    SPEC = """
+    module carrier {
+      interface Transportation {};
+      interface Carrier : Transportation {};
+      interface Person {};
+      interface Cars : Carrier {
+        attribute float price;
+        attribute Person owner;
+      };
+    };
+    """
+
+    def test_interfaces_become_terms(self) -> None:
+        onto = idl.loads(self.SPEC)
+        assert onto.name == "carrier"
+        for term in ("Transportation", "Carrier", "Cars", "Person"):
+            assert onto.has_term(term)
+
+    def test_inheritance_becomes_subclass(self) -> None:
+        onto = idl.loads(self.SPEC)
+        assert onto.graph.has_edge("Carrier", "S", "Transportation")
+        assert onto.graph.has_edge("Cars", "S", "Carrier")
+
+    def test_attributes_become_attribute_terms(self) -> None:
+        onto = idl.loads(self.SPEC)
+        assert onto.graph.has_edge("Price", "A", "Cars")
+        assert onto.graph.has_edge("Owner", "A", "Cars")
+
+    def test_interface_typed_attribute_links_type(self) -> None:
+        onto = idl.loads(self.SPEC)
+        assert onto.graph.has_edge("Owner", "typedAs", "Person")
+
+    def test_comments_stripped(self) -> None:
+        onto = idl.loads(
+            "// leading\nmodule m { /* block */ interface X {}; };"
+        )
+        assert onto.has_term("X")
+
+    def test_multiple_inheritance(self) -> None:
+        onto = idl.loads(
+            "module m { interface A {}; interface B {}; "
+            "interface C : A, B {}; };"
+        )
+        assert onto.graph.has_edge("C", "S", "A")
+        assert onto.graph.has_edge("C", "S", "B")
+
+    def test_undeclared_base_raises(self) -> None:
+        with pytest.raises(FormatError):
+            idl.loads("module m { interface C : Ghost {}; };")
+
+    def test_duplicate_interface_raises(self) -> None:
+        with pytest.raises(FormatError):
+            idl.loads("module m { interface A {}; interface A {}; };")
+
+    def test_no_interfaces_raises(self) -> None:
+        with pytest.raises(FormatError):
+            idl.loads("module m { };")
+
+    def test_dumps_round_trips_hierarchy(self) -> None:
+        onto = idl.loads(self.SPEC)
+        text = idl.dumps(onto)
+        rebuilt = idl.loads(text)
+        s_edges = {
+            (e.source, e.target)
+            for e in onto.graph.edges()
+            if e.label == "S"
+        }
+        rebuilt_s = {
+            (e.source, e.target)
+            for e in rebuilt.graph.edges()
+            if e.label == "S"
+        }
+        assert s_edges == rebuilt_s
+
+
+class TestRdf:
+    def test_round_trip(self, carrier: Ontology) -> None:
+        rebuilt = rdf.loads(rdf.dumps(carrier))
+        assert rebuilt.same_structure(carrier)
+        assert rebuilt.name == carrier.name
+
+    def test_isolated_terms_survive_round_trip(self) -> None:
+        onto = Ontology("o")
+        onto.add_term("Lonely")
+        onto.add_term("A")
+        onto.add_term("B")
+        onto.relate("A", "S", "B")
+        text = rdf.dumps(onto)
+        assert "isolated-term" in text
+        # Comments are skipped on load; only connected terms return.
+        rebuilt = rdf.loads(text)
+        assert rebuilt.has_term("A")
+        assert not rebuilt.has_term("Lonely")
+
+    def test_mixed_namespaces_rejected_for_ontology(self) -> None:
+        with pytest.raises(FormatError):
+            rdf.loads("<a:X> <S> <b:Y> .")
+
+    def test_mixed_namespaces_as_graph(self) -> None:
+        graph = rdf.loads_graph("<a:X> <S> <b:Y> .")
+        assert graph.has_edge("a:X", "S", "b:Y")
+        assert graph.label("a:X") == "X"
+
+    def test_malformed_triple_raises(self) -> None:
+        with pytest.raises(FormatError, match="line 1"):
+            rdf.loads("this is not a triple")
+
+    def test_graph_dump(self, transport: Articulation) -> None:
+        text = rdf.dumps_graph(transport.unified_graph())
+        graph = rdf.loads_graph(text)
+        assert graph.edge_count() == transport.unified_graph().edge_count()
+
+
+class TestDot:
+    def test_ontology_dot_contains_all_terms(self, carrier: Ontology) -> None:
+        text = dot.ontology_to_dot(carrier)
+        assert text.startswith("digraph")
+        for term in carrier.terms():
+            assert f'"{term}"' in text
+
+    def test_articulation_dot_has_clusters_and_bridges(
+        self, transport: Articulation
+    ) -> None:
+        text = dot.articulation_to_dot(transport)
+        assert "subgraph cluster_0" in text
+        assert '"carrier:Car" -> "transport:Vehicle"' in text
+
+    def test_quote_escaping(self) -> None:
+        onto = Ontology("o")
+        onto.add_term('Weird"Name')
+        text = dot.ontology_to_dot(onto)
+        assert '\\"' in text
+
+    def test_write_dot_dispatches(
+        self, tmp_path, carrier: Ontology, transport: Articulation
+    ) -> None:
+        p1 = tmp_path / "o.dot"
+        p2 = tmp_path / "a.dot"
+        dot.write_dot(carrier, p1)
+        dot.write_dot(transport, p2)
+        assert p1.read_text().startswith("digraph")
+        assert "cluster" in p2.read_text()

@@ -1,0 +1,148 @@
+"""Unit tests for the instance stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ontology import Ontology
+from repro.errors import KnowledgeBaseError
+from repro.kb.instances import Instance, InstanceStore
+
+
+@pytest.fixture
+def store(carrier) -> InstanceStore:
+    return InstanceStore(carrier)
+
+
+class TestInstance:
+    def test_attribute_access_case_insensitive(self) -> None:
+        instance = Instance("i1", "Cars", {"price": 5})
+        assert instance.get("Price") == 5
+        assert instance.get("PRICE") == 5
+
+    def test_get_default(self) -> None:
+        instance = Instance("i1", "Cars", {})
+        assert instance.get("missing", 0) == 0
+
+    def test_with_attributes_merges_lowercased(self) -> None:
+        instance = Instance("i1", "Cars", {"price": 5})
+        updated = instance.with_attributes({"Owner": "gio"})
+        assert updated.get("owner") == "gio"
+        assert updated.get("price") == 5
+        assert instance.get("owner") is None  # original untouched
+
+
+class TestPopulation:
+    def test_add_and_get(self, store: InstanceStore) -> None:
+        store.add("i1", "Cars", price=100)
+        assert store.get("i1").get("price") == 100
+        assert "i1" in store
+        assert len(store) == 1
+
+    def test_attribute_kwargs_and_mapping_merge(
+        self, store: InstanceStore
+    ) -> None:
+        instance = store.add("i1", "Cars", {"Price": 1}, owner="gio")
+        assert instance.get("price") == 1
+        assert instance.get("owner") == "gio"
+
+    def test_duplicate_id_rejected(self, store: InstanceStore) -> None:
+        store.add("i1", "Cars")
+        with pytest.raises(KnowledgeBaseError):
+            store.add("i1", "Trucks")
+
+    def test_unknown_class_rejected(self, store: InstanceStore) -> None:
+        with pytest.raises(KnowledgeBaseError):
+            store.add("i1", "Spaceship")
+
+    def test_remove(self, store: InstanceStore) -> None:
+        store.add("i1", "Cars")
+        store.remove("i1")
+        assert "i1" not in store
+        with pytest.raises(KnowledgeBaseError):
+            store.remove("i1")
+
+    def test_get_missing_raises(self, store: InstanceStore) -> None:
+        with pytest.raises(KnowledgeBaseError):
+            store.get("ghost")
+
+
+class TestStrictAttributes:
+    @pytest.fixture
+    def strict(self, carrier) -> InstanceStore:
+        return InstanceStore(carrier, strict_attributes=True)
+
+    def test_declared_attribute_accepted(self, strict: InstanceStore) -> None:
+        # Price is declared on Cars; Car inherits it.
+        strict.add("i1", "Car", price=10)
+
+    def test_undeclared_attribute_rejected(self, strict: InstanceStore) -> None:
+        with pytest.raises(KnowledgeBaseError):
+            strict.add("i1", "Car", wingspan=3)
+
+    def test_validate_reports_problems(self, carrier) -> None:
+        lax = InstanceStore(carrier)
+        lax.add("i1", "Car", wingspan=3)
+        strict = InstanceStore(carrier, strict_attributes=True)
+        strict._instances.update(lax._instances)  # simulate drift
+        strict._by_class.update(lax._by_class)
+        issues = strict.validate()
+        assert issues and "wingspan" in issues[0]
+
+
+class TestQueries:
+    def test_instances_of_direct(self, carrier_kb: InstanceStore) -> None:
+        trucks = carrier_kb.instances_of("Trucks", include_subclasses=False)
+        assert {i.instance_id for i in trucks} == {
+            "HaulTruck1",
+            "HaulTruck2",
+        }
+
+    def test_instances_of_with_subclass_closure(
+        self, carrier_kb: InstanceStore
+    ) -> None:
+        cars = carrier_kb.instances_of("Cars")
+        assert {i.instance_id for i in cars} == {
+            "MyCar",
+            "FleetCar1",
+            "FleetSUV1",
+        }
+
+    def test_closure_reaches_the_root(self, carrier_kb: InstanceStore) -> None:
+        everything = carrier_kb.instances_of("Transportation")
+        assert len(everything) == 5
+
+    def test_unknown_class_query_rejected(
+        self, carrier_kb: InstanceStore
+    ) -> None:
+        with pytest.raises(KnowledgeBaseError):
+            carrier_kb.instances_of("Spaceship")
+
+    def test_select_union_deduplicates(
+        self, carrier_kb: InstanceStore
+    ) -> None:
+        rows = carrier_kb.select(["Cars", "Car"])
+        ids = [i.instance_id for i in rows]
+        assert len(ids) == len(set(ids))
+
+    def test_select_with_predicate(self, carrier_kb: InstanceStore) -> None:
+        cheap = carrier_kb.select(
+            ["Transportation"],
+            lambda i: isinstance(i.get("price"), (int, float))
+            and i.get("price") < 8000,
+        )
+        assert {i.instance_id for i in cheap} == {"MyCar", "FleetCar1",
+                                                  "HaulTruck2"}
+
+    def test_classes_present(self, carrier_kb: InstanceStore) -> None:
+        assert "Trucks" in carrier_kb.classes()
+
+    def test_validate_clean_store(self, carrier_kb: InstanceStore) -> None:
+        assert carrier_kb.validate() == []
+
+    def test_validate_detects_removed_class(self, carrier) -> None:
+        store = InstanceStore(carrier)
+        store.add("i1", "SUV")
+        carrier.remove_term("SUV")
+        issues = store.validate()
+        assert issues and "SUV" in issues[0]

@@ -1,0 +1,248 @@
+"""Unit tests for SKAT matchers and the expert iteration loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ontology import Ontology
+from repro.core.rules import ImplicationRule
+from repro.lexicon.expert import (
+    AcceptAllPolicy,
+    ExpertDecision,
+    GroundTruthPolicy,
+    ScriptedPolicy,
+    ThresholdPolicy,
+)
+from repro.lexicon.skat import (
+    ExactLabelMatcher,
+    HypernymMatcher,
+    SkatEngine,
+    StructuralMatcher,
+    SynonymMatcher,
+    articulate_with_expert,
+)
+from repro.lexicon.wordnet import seed_lexicon
+
+
+@pytest.fixture
+def left() -> Ontology:
+    onto = Ontology("left")
+    for term in ("Vehicle", "Car", "Price", "Lorry"):
+        onto.add_term(term)
+    onto.add_subclass("Car", "Vehicle")
+    onto.add_attribute("Price", "Car")
+    onto.add_subclass("Lorry", "Vehicle")
+    return onto
+
+
+@pytest.fixture
+def right() -> Ontology:
+    onto = Ontology("right")
+    for term in ("Vehicle", "Automobile", "Cost", "Truck"):
+        onto.add_term(term)
+    onto.add_subclass("Automobile", "Vehicle")
+    onto.add_attribute("Cost", "Automobile")
+    onto.add_subclass("Truck", "Vehicle")
+    return onto
+
+
+class TestExactLabelMatcher:
+    def test_identical_labels_matched(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        candidates = ExactLabelMatcher().propose(left, right)
+        texts = {c.key() for c in candidates}
+        assert "left:Vehicle => right:Vehicle" in texts
+        assert "right:Vehicle => left:Vehicle" in texts
+
+    def test_no_candidates_without_shared_labels(self) -> None:
+        a = Ontology("a")
+        a.add_term("X")
+        b = Ontology("b")
+        b.add_term("Y")
+        assert ExactLabelMatcher().propose(a, b) == []
+
+    def test_normalized_label_match(self) -> None:
+        a = Ontology("a")
+        a.add_term("passenger_car")
+        b = Ontology("b")
+        b.add_term("PassengerCar")
+        candidates = ExactLabelMatcher().propose(a, b)
+        assert candidates
+
+
+class TestSynonymMatcher:
+    def test_lexicon_synonyms_matched(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        candidates = SynonymMatcher(seed_lexicon()).propose(left, right)
+        texts = {c.key() for c in candidates}
+        assert "left:Car => right:Automobile" in texts
+        assert "right:Automobile => left:Car" in texts
+        assert "left:Price => right:Cost" in texts
+        assert "left:Lorry => right:Truck" in texts
+
+    def test_exact_pairs_left_to_exact_matcher(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        candidates = SynonymMatcher(seed_lexicon()).propose(left, right)
+        texts = {c.key() for c in candidates}
+        assert "left:Vehicle => right:Vehicle" not in texts
+
+
+class TestHypernymMatcher:
+    def test_directed_specialization(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        candidates = HypernymMatcher(seed_lexicon()).propose(left, right)
+        texts = {c.key() for c in candidates}
+        # left:Car is a hyponym of right:Vehicle -> directed rule.
+        assert "left:Car => right:Vehicle" in texts
+        # and never the reverse direction for a hypernym pair.
+        assert "right:Vehicle => left:Car" not in texts
+
+    def test_both_directions_across_ontologies(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        candidates = HypernymMatcher(seed_lexicon()).propose(left, right)
+        texts = {c.key() for c in candidates}
+        # right:Automobile is a hyponym of left:Vehicle.
+        assert "right:Automobile => left:Vehicle" in texts
+
+    def test_scores_decay_with_distance(self) -> None:
+        a = Ontology("a")
+        a.add_term("SUV")
+        b = Ontology("b")
+        b.add_term("Car")
+        b.add_term("Vehicle")
+        candidates = HypernymMatcher(seed_lexicon()).propose(a, b)
+        by_target = {
+            c.key(): c.score for c in candidates
+        }
+        assert by_target["a:SUV => b:Car"] > by_target["a:SUV => b:Vehicle"]
+
+
+class TestStructuralMatcher:
+    def test_neighborhood_alignment_proposes_unlexical_pair(self) -> None:
+        """Two terms the lexicon has never heard of get matched because
+        their neighbors align."""
+        a = Ontology("a")
+        for term in ("Vehicle", "Zorblat", "Price"):
+            a.add_term(term)
+        a.add_subclass("Zorblat", "Vehicle")
+        a.add_attribute("Price", "Zorblat")
+        b = Ontology("b")
+        for term in ("Vehicle", "Gnarf", "Price"):
+            b.add_term(term)
+        b.add_subclass("Gnarf", "Vehicle")
+        b.add_attribute("Price", "Gnarf")
+        candidates = StructuralMatcher().propose(a, b)
+        texts = {c.key() for c in candidates}
+        assert "a:Zorblat => b:Gnarf" in texts
+
+    def test_no_anchor_no_proposal(self) -> None:
+        a = Ontology("a")
+        a.add_term("X1")
+        a.add_term("X2")
+        a.add_subclass("X1", "X2")
+        b = Ontology("b")
+        b.add_term("Y1")
+        b.add_term("Y2")
+        b.add_subclass("Y1", "Y2")
+        assert StructuralMatcher().propose(a, b) == []
+
+
+class TestSkatEngine:
+    def test_dedup_keeps_best_score(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        engine = SkatEngine.default()
+        candidates = engine.propose(left, right)
+        keys = [c.key() for c in candidates]
+        assert len(keys) == len(set(keys))
+
+    def test_ranked_descending(self, left: Ontology, right: Ontology) -> None:
+        candidates = SkatEngine.default().propose(left, right)
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclusion(self, left: Ontology, right: Ontology) -> None:
+        engine = SkatEngine.default()
+        first = engine.propose(left, right)
+        excluded = engine.propose(
+            left, right, exclude=[first[0].rule]
+        )
+        assert first[0].key() not in {c.key() for c in excluded}
+
+
+class TestExpertLoop:
+    def test_accept_all_converges(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        articulation, audit = articulate_with_expert(
+            left, right, AcceptAllPolicy(), name="mid"
+        )
+        assert len(articulation.rules) > 0
+        assert len(audit) >= len(articulation.rules)
+        # Car ~ Automobile must have made it into the articulation.
+        terms = set(articulation.ontology.terms())
+        assert "Automobile" in terms or "Car" in terms
+
+    def test_threshold_policy_accepts_fewer(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        all_art, _ = articulate_with_expert(
+            left, right, AcceptAllPolicy(), name="mid"
+        )
+        strict_art, _ = articulate_with_expert(
+            left, right, ThresholdPolicy(threshold=0.9), name="mid"
+        )
+        assert len(strict_art.rules) <= len(all_art.rules)
+
+    def test_ground_truth_policy_filters_exactly(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        truth = ["left:Car => right:Automobile"]
+        policy = GroundTruthPolicy(frozenset(truth))
+        articulation, _ = articulate_with_expert(
+            left, right, policy, name="mid", use_inference=False
+        )
+        assert {str(r) for r in articulation.rules} == set(truth)
+
+    def test_scripted_policy_modification(self) -> None:
+        from repro.core.rules import parse_rule
+        from repro.lexicon.expert import MatchCandidate
+
+        candidate = MatchCandidate(
+            parse_rule("a:X => b:Y"), 0.9, "exact"
+        )
+        replacement = parse_rule("a:X => b:Z")
+        policy = ScriptedPolicy(
+            decisions={"a:X => b:Y": ExpertDecision.MODIFY},
+            modifications={"a:X => b:Y": replacement},
+        )
+        reviewed = policy.review([candidate])
+        assert reviewed[0].accepted_rule() is replacement
+
+    def test_scripted_policy_volunteers_rules_once(self) -> None:
+        from repro.core.rules import parse_rule
+
+        policy = ScriptedPolicy(
+            volunteered=(parse_rule("a:X => b:Y"),)
+        )
+        assert len(policy.extra_rules()) == 1
+        assert policy.extra_rules() == []
+
+    def test_audit_records_rejections(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        _, audit = articulate_with_expert(
+            left,
+            right,
+            ThresholdPolicy(threshold=2.0),  # rejects everything
+            name="mid",
+        )
+        assert audit
+        assert all(
+            review.decision is ExpertDecision.REJECT for review in audit
+        )

@@ -1,0 +1,161 @@
+"""Unit tests for the MiniWordNet lexicon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexiconError
+from repro.lexicon.wordnet import (
+    MiniWordNet,
+    Synset,
+    normalize_lemma,
+    seed_lexicon,
+)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "variant",
+        ["PassengerCar", "passenger_car", "passenger car", "Passenger-Car"],
+    )
+    def test_variants_normalize_identically(self, variant: str) -> None:
+        assert normalize_lemma(variant) == "passengercar"
+
+    def test_simple_lowercase(self) -> None:
+        assert normalize_lemma("Car") == "car"
+
+    def test_whitespace_trimmed(self) -> None:
+        assert normalize_lemma("  truck  ") == "truck"
+
+
+class TestSynsets:
+    def test_empty_lemmas_rejected(self) -> None:
+        with pytest.raises(LexiconError):
+            Synset("bad.n.01", ())
+
+    def test_duplicate_synset_id_rejected(self) -> None:
+        lexicon = MiniWordNet()
+        lexicon.add_synset("x.n.01", ["x"])
+        with pytest.raises(LexiconError):
+            lexicon.add_synset("x.n.01", ["y"])
+
+    def test_unknown_synset_raises(self) -> None:
+        with pytest.raises(LexiconError):
+            MiniWordNet().synset("ghost.n.01")
+
+    def test_validate_reports_dangling_hypernyms(self) -> None:
+        lexicon = MiniWordNet()
+        lexicon.add_synset("a.n.01", ["a"], hypernyms=["missing.n.01"])
+        issues = lexicon.validate()
+        assert len(issues) == 1
+        assert "missing.n.01" in issues[0]
+
+
+class TestLookup:
+    @pytest.fixture
+    def lexicon(self) -> MiniWordNet:
+        return seed_lexicon()
+
+    def test_knows(self, lexicon: MiniWordNet) -> None:
+        assert lexicon.knows("car")
+        assert lexicon.knows("Car")
+        assert not lexicon.knows("flibbertigibbet")
+
+    def test_synonyms(self, lexicon: MiniWordNet) -> None:
+        synonyms = lexicon.synonyms("car")
+        assert "automobile" in synonyms
+        assert "car" not in {normalize_lemma(s) for s in synonyms}
+
+    def test_are_synonyms(self, lexicon: MiniWordNet) -> None:
+        assert lexicon.are_synonyms("car", "automobile")
+        assert lexicon.are_synonyms("truck", "lorry")
+        assert not lexicon.are_synonyms("car", "truck")
+
+    def test_synsets_for_is_case_insensitive(self, lexicon: MiniWordNet) -> None:
+        assert lexicon.synsets_for("CAR") == lexicon.synsets_for("car")
+
+
+class TestHypernymy:
+    @pytest.fixture
+    def lexicon(self) -> MiniWordNet:
+        return seed_lexicon()
+
+    def test_direct_hyponym(self, lexicon: MiniWordNet) -> None:
+        assert lexicon.is_hyponym_of("SUV", "car")
+
+    def test_transitive_hyponym(self, lexicon: MiniWordNet) -> None:
+        assert lexicon.is_hyponym_of("car", "vehicle")
+        assert lexicon.is_hyponym_of("SUV", "vehicle")
+
+    def test_hyponymy_directed(self, lexicon: MiniWordNet) -> None:
+        assert not lexicon.is_hyponym_of("vehicle", "car")
+
+    def test_synonyms_are_not_hyponyms(self, lexicon: MiniWordNet) -> None:
+        assert not lexicon.is_hyponym_of("car", "automobile")
+
+    def test_unknown_term_not_hyponym(self, lexicon: MiniWordNet) -> None:
+        assert not lexicon.is_hyponym_of("blorp", "vehicle")
+
+    def test_hypernym_closure(self, lexicon: MiniWordNet) -> None:
+        closure = lexicon.hypernym_closure("car.n.01")
+        assert "vehicle.n.01" in closure
+        assert "entity.n.01" in closure
+        assert "car.n.01" not in closure
+
+
+class TestSimilarity:
+    @pytest.fixture
+    def lexicon(self) -> MiniWordNet:
+        return seed_lexicon()
+
+    def test_identity_is_one(self, lexicon: MiniWordNet) -> None:
+        assert lexicon.similarity("car", "car") == 1.0
+
+    def test_synonyms_are_one(self, lexicon: MiniWordNet) -> None:
+        assert lexicon.similarity("car", "automobile") == 1.0
+
+    def test_siblings_beat_strangers(self, lexicon: MiniWordNet) -> None:
+        sibling = lexicon.similarity("car", "truck")
+        stranger = lexicon.similarity("car", "person")
+        assert sibling > stranger
+
+    def test_parent_beats_grandparent(self, lexicon: MiniWordNet) -> None:
+        parent = lexicon.similarity("SUV", "car")
+        grandparent = lexicon.similarity("SUV", "motor vehicle")
+        assert parent > grandparent
+
+    def test_unrelated_unknown_is_zero(self, lexicon: MiniWordNet) -> None:
+        assert lexicon.similarity("car", "blorp") == 0.0
+
+    def test_bounded(self, lexicon: MiniWordNet) -> None:
+        for a, b in [("car", "truck"), ("SUV", "vehicle"), ("euro", "dollar")]:
+            assert 0.0 <= lexicon.similarity(a, b) <= 1.0
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path) -> None:
+        lexicon = seed_lexicon()
+        path = tmp_path / "lexicon.json"
+        lexicon.save(path)
+        loaded = MiniWordNet.load(path)
+        assert len(loaded) == len(lexicon)
+        assert loaded.are_synonyms("car", "automobile")
+        assert loaded.is_hyponym_of("SUV", "vehicle")
+
+    def test_from_dict_validates(self) -> None:
+        payload = {
+            "synsets": [
+                {"id": "a.n.01", "lemmas": ["a"], "hypernyms": ["ghost"]}
+            ]
+        }
+        with pytest.raises(LexiconError):
+            MiniWordNet.from_dict(payload)
+
+    def test_seed_lexicon_covers_fig2_vocabulary(self) -> None:
+        lexicon = seed_lexicon()
+        for term in (
+            "car", "truck", "vehicle", "carrier", "factory", "price",
+            "owner", "driver", "person", "euro", "DutchGuilders",
+            "PoundSterling", "transportation", "goods", "weight", "buyer",
+        ):
+            assert lexicon.knows(term), term

@@ -1,0 +1,71 @@
+"""Shared hypothesis strategies: random labeled graphs, ontologies and
+rule sets with the invariants the library expects."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.graph import LabeledGraph
+from repro.core.ontology import Ontology
+
+TERM_ALPHABET = "ABCDEFGH"
+EDGE_LABELS = ("S", "A", "I", "rel")
+
+
+@st.composite
+def term_names(draw, prefix: str = "T") -> str:
+    suffix = draw(st.integers(min_value=0, max_value=30))
+    return f"{prefix}{suffix}"
+
+
+@st.composite
+def labeled_graphs(draw, max_nodes: int = 10, max_edges: int = 20):
+    """A random labeled graph with unique node ids."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    node_ids = [f"n{i}" for i in range(n)]
+    graph = LabeledGraph()
+    for node_id in node_ids:
+        label = draw(st.sampled_from(TERM_ALPHABET))
+        graph.add_node(node_id, label)
+    edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+    for _ in range(edge_count):
+        source = draw(st.sampled_from(node_ids))
+        target = draw(st.sampled_from(node_ids))
+        label = draw(st.sampled_from(EDGE_LABELS))
+        graph.add_edge(source, label, target)
+    return graph
+
+
+@st.composite
+def ontologies(draw, name: str = "o", max_terms: int = 12):
+    """A random consistent ontology with an acyclic SubclassOf core
+    plus a few free verb edges."""
+    n = draw(st.integers(min_value=1, max_value=max_terms))
+    terms = [f"{name.upper()}{i}" for i in range(n)]
+    onto = Ontology(name)
+    for term in terms:
+        onto.add_term(term)
+    # Acyclic S edges: child index > parent index.
+    for child_index in range(1, n):
+        if draw(st.booleans()):
+            parent_index = draw(
+                st.integers(min_value=0, max_value=child_index - 1)
+            )
+            onto.add_subclass(terms[child_index], terms[parent_index])
+    n_extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(n_extra):
+        source = draw(st.sampled_from(terms))
+        target = draw(st.sampled_from(terms))
+        label = draw(st.sampled_from(["A", "uses", "partOf"]))
+        if source != target:
+            onto.graph.add_edge(source, label, target)
+    return onto
+
+
+@st.composite
+def simple_rule_texts(draw, left: str = "a", right: str = "b",
+                      max_index: int = 11):
+    """Textual simple rules between two ontology namespaces."""
+    i = draw(st.integers(min_value=0, max_value=max_index))
+    j = draw(st.integers(min_value=0, max_value=max_index))
+    return f"{left}:{left.upper()}{i} => {right}:{right.upper()}{j}"

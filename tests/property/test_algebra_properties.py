@@ -1,0 +1,168 @@
+"""Property-based tests for the ontology algebra invariants (§5)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import difference, intersection, union
+from repro.core.ontology import Ontology
+from repro.core.rules import ArticulationRuleSet, parse_rule
+
+from .strategies import ontologies, simple_rule_texts
+
+
+def valid_rules(o1: Ontology, o2: Ontology, texts: list[str]) -> ArticulationRuleSet:
+    """Keep only rules whose terms exist in the generated ontologies."""
+    rules = ArticulationRuleSet()
+    for text in texts:
+        rule = parse_rule(text)
+        refs = list(rule.terms())
+        ok = all(
+            (ref.ontology == o1.name and o1.has_term(ref.term))
+            or (ref.ontology == o2.name and o2.has_term(ref.term))
+            for ref in refs
+        )
+        if ok:
+            rules.add(rule)
+    return rules
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_union_node_count_is_sum(o1, o2, texts) -> None:
+    """|N_union| = |N1| + |N2| + |NA| — qualified namespaces disjoint."""
+    rules = valid_rules(o1, o2, texts)
+    unified = union(o1, o2, rules, name="mid")
+    graph = unified.graph()
+    assert graph.node_count() == (
+        o1.term_count()
+        + o2.term_count()
+        + unified.articulation.ontology.term_count()
+    )
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_union_leaves_sources_untouched(o1, o2, texts) -> None:
+    before1, before2 = o1.graph.structure(), o2.graph.structure()
+    union(o1, o2, valid_rules(o1, o2, texts), name="mid")
+    assert o1.graph.structure() == before1
+    assert o2.graph.structure() == before2
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_intersection_edges_closed_over_its_terms(o1, o2, texts) -> None:
+    """§5.2 pruning: every edge endpoint stays inside the result."""
+    inter = intersection(o1, o2, valid_rules(o1, o2, texts), name="mid")
+    terms = set(inter.terms())
+    for edge in inter.graph.edges():
+        assert edge.source in terms
+        assert edge.target in terms
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_intersection_terms_are_consequence_vocabulary(o1, o2, texts) -> None:
+    """Articulation terms come from rule consequences (simple rules copy
+    the consequence term into the articulation)."""
+    rules = valid_rules(o1, o2, texts)
+    inter = intersection(o1, o2, rules, name="mid")
+    consequences = set()
+    for rule in rules.implications():
+        last = rule.steps[-1]
+        from repro.core.rules import TermOperand
+
+        if isinstance(last, TermOperand):
+            consequences.add(last.ref.term)
+    assert set(inter.terms()) <= consequences
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_difference_is_subontology(o1, o2, texts) -> None:
+    rules = valid_rules(o1, o2, texts)
+    diff = difference(o1, o2, rules)
+    assert set(diff.terms()) <= set(o1.terms())
+    for edge in diff.graph.edges():
+        assert o1.graph.has_edge(edge.source, edge.label, edge.target)
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_formal_difference_contains_conservative(o1, o2, texts) -> None:
+    """Conservative pruning only ever removes more."""
+    rules = valid_rules(o1, o2, texts)
+    conservative = difference(o1, o2, rules)
+    formal = difference(o1, o2, rules, strategy="formal")
+    assert set(conservative.terms()) <= set(formal.terms())
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+)
+@settings(max_examples=30, deadline=None)
+def test_difference_without_rules_is_identity(o1, o2) -> None:
+    diff = difference(o1, o2, ArticulationRuleSet())
+    assert diff.same_structure(o1)
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_premise_terms_always_deleted(o1, o2, texts) -> None:
+    """Every O1 term used as a simple-rule premise has, by
+    construction, a bridge path into O2, so the difference drops it."""
+    rules = valid_rules(o1, o2, texts)
+    diff = difference(o1, o2, rules)
+    from repro.core.rules import TermOperand
+
+    for rule in rules.implications():
+        first, last = rule.steps[0], rule.steps[-1]
+        assert isinstance(first, TermOperand)
+        assert isinstance(last, TermOperand)
+        if first.ref.ontology == o1.name and last.ref.ontology == o2.name:
+            assert not diff.has_term(first.ref.term)
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_generation_deterministic(o1, o2, texts) -> None:
+    rules = valid_rules(o1, o2, texts)
+    first = union(o1, o2, rules, name="mid").articulation
+    second = union(o1, o2, rules.copy(), name="mid").articulation
+    assert first.ontology.same_structure(second.ontology)
+    assert first.bridges == second.bridges

@@ -1,0 +1,164 @@
+"""Property-based tests for articulation-generator invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.articulation import ArticulationGenerator
+from repro.core.ontology import split_qualified
+from repro.core.relations import SI_BRIDGE
+from repro.core.rules import ArticulationRuleSet, parse_rule
+
+from .strategies import ontologies, simple_rule_texts
+
+
+def build(o1, o2, texts, name="mid"):
+    rules = ArticulationRuleSet()
+    for text in texts:
+        rule = parse_rule(text)
+        if all(
+            (ref.ontology == o1.name and o1.has_term(ref.term))
+            or (ref.ontology == o2.name and o2.has_term(ref.term))
+            for ref in rule.terms()
+        ):
+            rules.add(rule)
+    generator = ArticulationGenerator([o1, o2], name=name)
+    return generator, generator.generate(rules)
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_bridges_reference_existing_terms(o1, o2, texts) -> None:
+    """Every bridge endpoint resolves to a live term somewhere."""
+    _generator, articulation = build(o1, o2, texts)
+    assert articulation.dangling_bridges() == []
+    for edge in articulation.bridges:
+        for endpoint in (edge.source, edge.target):
+            onto_name, term = split_qualified(endpoint)
+            if onto_name == articulation.name:
+                assert articulation.ontology.has_term(term)
+            else:
+                assert articulation.sources[onto_name].has_term(term)
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_bridge_crosses_or_touches_the_articulation(
+    o1, o2, texts
+) -> None:
+    """Bridges connect a source to the articulation (never source to
+    source directly — the articulation mediates, §4)."""
+    _generator, articulation = build(o1, o2, texts)
+    prefix = f"{articulation.name}:"
+    for edge in articulation.bridges:
+        assert edge.source.startswith(prefix) or edge.target.startswith(
+            prefix
+        )
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_simple_rule_premise_bridged_into_articulation(
+    o1, o2, texts
+) -> None:
+    """For every applied simple rule A => B there is an SIBridge from
+    A into some articulation node (the §4.1 semantics)."""
+    _generator, articulation = build(o1, o2, texts)
+    prefix = f"{articulation.name}:"
+    for rule in articulation.rules.implications():
+        if not rule.is_simple():
+            continue
+        premise = next(iter(rule.premise.terms()))
+        qualified = f"{premise.ontology}:{premise.term}"
+        outgoing = [
+            e
+            for e in articulation.bridges
+            if e.source == qualified
+            and e.label == SI_BRIDGE.code
+            and e.target.startswith(prefix)
+        ]
+        assert outgoing, f"premise {qualified} has no bridge"
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+    st.lists(simple_rule_texts("a", "b"), max_size=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_extend_in_batches_equals_one_shot(o1, o2, first, second) -> None:
+    """Applying rules in two batches produces the same articulation as
+    applying them all at once (the expert loop's incrementality)."""
+
+    def valid(texts):
+        keep = []
+        for text in texts:
+            rule = parse_rule(text)
+            if all(
+                (ref.ontology == o1.name and o1.has_term(ref.term))
+                or (ref.ontology == o2.name and o2.has_term(ref.term))
+                for ref in rule.terms()
+            ):
+                keep.append(text)
+        return keep
+
+    first, second = valid(first), valid(second)
+    generator_a = ArticulationGenerator([o1, o2], name="mid")
+    batched = generator_a.generate(
+        ArticulationRuleSet(parse_rule(t) for t in first)
+    )
+    generator_a.extend(
+        batched, ArticulationRuleSet(parse_rule(t) for t in second)
+    )
+
+    generator_b = ArticulationGenerator([o1, o2], name="mid")
+    oneshot = generator_b.generate(
+        ArticulationRuleSet(parse_rule(t) for t in first + second)
+    )
+    assert batched.ontology.same_structure(oneshot.ontology)
+    assert batched.bridges == oneshot.bridges
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_cost_monotone_in_rules(o1, o2, texts) -> None:
+    """More rules never cost fewer graph operations."""
+    _g1, small = build(o1, o2, texts[: len(texts) // 2])
+    _g2, large = build(o1, o2, texts)
+    assert small.cost() <= large.cost()
+
+
+@given(
+    ontologies("a"),
+    ontologies("b"),
+    st.lists(simple_rule_texts("a", "b"), max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_covered_terms_exactly_bridge_endpoints(o1, o2, texts) -> None:
+    _generator, articulation = build(o1, o2, texts)
+    prefix = f"{articulation.name}:"
+    expected = {
+        endpoint
+        for edge in articulation.bridges
+        for endpoint in (edge.source, edge.target)
+        if not endpoint.startswith(prefix)
+    }
+    assert articulation.covered_source_terms() == expected

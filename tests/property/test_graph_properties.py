@@ -1,0 +1,141 @@
+"""Property-based tests for the graph substrate and primitives."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import LabeledGraph
+from repro.core.transform import (
+    EdgeAddition,
+    NodeAddition,
+    NodeDeletion,
+    TransformLog,
+)
+
+from .strategies import labeled_graphs
+
+
+@given(labeled_graphs())
+def test_copy_equals_original(graph: LabeledGraph) -> None:
+    assert graph.copy().same_structure(graph)
+
+
+@given(labeled_graphs())
+def test_dict_round_trip(graph: LabeledGraph) -> None:
+    assert LabeledGraph.from_dict(graph.to_dict()).same_structure(graph)
+
+
+@given(labeled_graphs())
+def test_edge_indexes_consistent(graph: LabeledGraph) -> None:
+    """Every edge appears in exactly the right out/in index buckets."""
+    for edge in graph.edges():
+        assert edge in graph.out_edges(edge.source)
+        assert edge in graph.in_edges(edge.target)
+    recount = sum(len(graph.out_edges(n)) for n in graph.nodes())
+    assert recount == graph.edge_count()
+
+
+@given(labeled_graphs())
+def test_degree_sums_to_twice_edges(graph: LabeledGraph) -> None:
+    total = sum(graph.degree(n) for n in graph.nodes())
+    assert total == 2 * graph.edge_count()
+
+
+@given(labeled_graphs())
+def test_reachability_is_monotone_in_labels(graph: LabeledGraph) -> None:
+    """Restricting traversal labels never grows the reachable set."""
+    nodes = list(graph.nodes())
+    start = nodes[0]
+    unrestricted = graph.reachable_from(start)
+    restricted = graph.reachable_from(start, labels={"S"})
+    assert restricted <= unrestricted
+
+
+@given(labeled_graphs())
+def test_reverse_reachability_duality(graph: LabeledGraph) -> None:
+    """b reachable from a  iff  a reverse-reachable from b."""
+    nodes = sorted(graph.nodes())
+    a = nodes[0]
+    forward = graph.reachable_from(a)
+    for b in nodes[: min(len(nodes), 5)]:
+        backward = graph.reachable_from(b, reverse=True)
+        assert (b in forward) == (a in backward)
+
+
+@given(labeled_graphs())
+def test_subgraph_nodes_subset(graph: LabeledGraph) -> None:
+    keep = sorted(graph.nodes())[: max(1, graph.node_count() // 2)]
+    sub = graph.subgraph(keep)
+    assert set(sub.nodes()) == set(keep)
+    for edge in sub.edges():
+        assert graph.has_edge(edge.source, edge.label, edge.target)
+
+
+@given(labeled_graphs())
+def test_merge_is_idempotent(graph: LabeledGraph) -> None:
+    clone = graph.copy()
+    clone.merge(graph)
+    assert clone.same_structure(graph)
+
+
+@given(labeled_graphs(), labeled_graphs())
+def test_merge_contains_both_operands(
+    g1: LabeledGraph, g2: LabeledGraph
+) -> None:
+    # Relabel g2's nodes to avoid label conflicts on shared ids.
+    merged = g1.copy()
+    try:
+        merged.merge(g2)
+    except Exception:
+        return  # conflicting labels on a shared id: rejection is correct
+    for node in g1.nodes():
+        assert merged.has_node(node)
+    for edge in g2.edges():
+        assert merged.has_edge(edge.source, edge.label, edge.target)
+
+
+@given(labeled_graphs(), st.data())
+@settings(max_examples=60)
+def test_transform_log_rollback_restores_exactly(
+    graph: LabeledGraph, data: st.DataObject
+) -> None:
+    """Any journaled mixture of primitives rolls back to the start."""
+    snapshot = graph.structure()
+    log = TransformLog()
+    nodes = sorted(graph.nodes())
+    n_ops = data.draw(st.integers(min_value=1, max_value=6))
+    fresh = 0
+    for _ in range(n_ops):
+        choice = data.draw(st.integers(min_value=0, max_value=2))
+        current = sorted(graph.nodes())
+        if not current:
+            choice = 0
+        if choice == 0 and not current:
+            log.apply(graph, NodeAddition(f"new{fresh}", f"new{fresh}"))
+            fresh += 1
+            continue
+        if choice == 0:
+            node_id = f"new{fresh}"
+            fresh += 1
+            anchor = data.draw(st.sampled_from(current))
+            from repro.core.graph import Edge
+
+            log.apply(
+                graph,
+                NodeAddition(node_id, node_id,
+                             (Edge(node_id, "S", anchor),)),
+            )
+        elif choice == 1 and current:
+            victim = data.draw(st.sampled_from(current))
+            log.apply(graph, NodeDeletion(victim))
+        else:
+            from repro.core.graph import Edge
+
+            source = data.draw(st.sampled_from(current))
+            target = data.draw(st.sampled_from(current))
+            log.apply(
+                graph, EdgeAddition((Edge(source, "extra", target),))
+            )
+    log.rollback(graph)
+    assert graph.structure() == snapshot

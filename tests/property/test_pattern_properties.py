@@ -1,0 +1,110 @@
+"""Property-based tests for pattern matching semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patterns import (
+    ANY_LABEL,
+    MatchConfig,
+    Pattern,
+    find_matches,
+)
+
+from .strategies import labeled_graphs
+
+
+@given(labeled_graphs())
+@settings(max_examples=60, deadline=None)
+def test_every_edge_matches_its_own_pattern(graph) -> None:
+    """A pattern copied from a real edge always matches (soundness of
+    the searcher on known-present structure)."""
+    for edge in list(graph.edges())[:5]:
+        pattern = Pattern()
+        pattern.add_node("p0", graph.label(edge.source))
+        pattern.add_node("p1", graph.label(edge.target))
+        pattern.add_edge("p0", edge.label, "p1")
+        bindings = list(find_matches(pattern, graph))
+        assert any(
+            b["p0"] == edge.source and b["p1"] == edge.target
+            for b in bindings
+        )
+
+
+@given(labeled_graphs())
+@settings(max_examples=60, deadline=None)
+def test_bindings_satisfy_both_conditions(graph) -> None:
+    """Every returned binding satisfies the paper's two conditions."""
+    edges = list(graph.edges())
+    if not edges:
+        return
+    edge = edges[0]
+    pattern = Pattern()
+    pattern.add_node("p0", graph.label(edge.source))
+    pattern.add_node("p1", None, "X")
+    pattern.add_edge("p0", ANY_LABEL, "p1")
+    for binding in find_matches(pattern, graph):
+        # Condition 1: labels agree for labeled pattern nodes.
+        assert graph.label(binding["p0"]) == graph.label(edge.source)
+        # Condition 2: a graph edge exists in the right direction.
+        assert binding["p1"] in graph.successors(binding["p0"])
+
+
+@given(labeled_graphs())
+@settings(max_examples=60, deadline=None)
+def test_relaxing_edge_labels_is_monotone(graph) -> None:
+    """Fuzzy matching can only add matches, never remove them."""
+    edges = list(graph.edges())
+    if not edges:
+        return
+    edge = edges[0]
+    pattern = Pattern()
+    pattern.add_node("p0", graph.label(edge.source))
+    pattern.add_node("p1", graph.label(edge.target))
+    pattern.add_edge("p0", edge.label, "p1")
+    strict = {
+        tuple(sorted(b.mapping.items()))
+        for b in find_matches(pattern, graph)
+    }
+    relaxed = {
+        tuple(sorted(b.mapping.items()))
+        for b in find_matches(
+            pattern, graph, MatchConfig(relax_edge_labels=True)
+        )
+    }
+    assert strict <= relaxed
+
+
+@given(labeled_graphs())
+@settings(max_examples=60, deadline=None)
+def test_injective_matches_subset_of_homomorphic(graph) -> None:
+    edges = list(graph.edges())
+    if not edges:
+        return
+    edge = edges[0]
+    pattern = Pattern()
+    pattern.add_node("p0", graph.label(edge.source))
+    pattern.add_node("p1", graph.label(edge.target))
+    pattern.add_edge("p0", edge.label, "p1")
+    injective = {
+        tuple(sorted(b.mapping.items()))
+        for b in find_matches(pattern, graph, MatchConfig(injective=True))
+    }
+    free = {
+        tuple(sorted(b.mapping.items()))
+        for b in find_matches(pattern, graph)
+    }
+    assert injective <= free
+    for mapping in injective:
+        values = [v for _k, v in mapping]
+        assert len(values) == len(set(values))
+
+
+@given(labeled_graphs(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_limit_respected(graph, limit) -> None:
+    pattern = Pattern()
+    pattern.add_node("p", None, "X")
+    results = list(find_matches(pattern, graph, limit=limit))
+    assert len(results) == min(limit, graph.node_count())

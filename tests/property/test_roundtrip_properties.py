@@ -1,0 +1,75 @@
+"""Property-based round-trip tests for the format wrappers and parsers."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rules import parse_rule
+from repro.formats import adjacency, rdf, xmlfmt
+from repro.query.ast import Condition, Query
+from repro.query.parser import parse_query
+
+from .strategies import ontologies
+
+
+@given(ontologies("src"))
+@settings(max_examples=60, deadline=None)
+def test_adjacency_round_trip(onto) -> None:
+    assert adjacency.loads(adjacency.dumps(onto)).same_structure(onto)
+
+
+@given(ontologies("src"))
+@settings(max_examples=60, deadline=None)
+def test_xml_round_trip(onto) -> None:
+    assert xmlfmt.loads(xmlfmt.dumps(onto)).same_structure(onto)
+
+
+@given(ontologies("src"))
+@settings(max_examples=60, deadline=None)
+def test_rdf_round_trip_preserves_edges(onto) -> None:
+    rebuilt = rdf.loads(rdf.dumps(onto))
+    # Isolated terms are documented to be dropped; edges must survive.
+    assert set(rebuilt.triples()) == set(onto.triples())
+
+
+@given(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=30),
+    st.sampled_from(["simple", "cascade", "conj", "disj"]),
+)
+def test_rule_text_round_trip(i, j, shape) -> None:
+    if shape == "simple":
+        text = f"a:T{i} => b:T{j}"
+    elif shape == "cascade":
+        text = f"a:T{i} => mid:M{i} => b:T{j}"
+    elif shape == "conj":
+        text = f"(a:T{i} ^ a:T{j}) => b:T{j}"
+    else:
+        text = f"a:T{i} => (b:T{i} | b:T{j})"
+    rule = parse_rule(text)
+    assert parse_rule(str(rule)) == rule
+
+
+@given(
+    st.lists(
+        st.sampled_from(["price", "model", "owner", "weight"]),
+        unique=True,
+        max_size=3,
+    ),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["price", "weight"]),
+            st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=3,
+    ),
+)
+def test_query_str_round_trip(select, conditions) -> None:
+    query = Query.over(
+        "transport:Vehicle",
+        select=select,
+        where=[Condition(a, op, v) for a, op, v in conditions],
+    )
+    assert parse_query(str(query)) == query

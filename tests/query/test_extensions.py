@@ -1,0 +1,231 @@
+"""Unit tests for the query-language extensions:
+ORDER BY, LIMIT, and aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.articulation import Articulation
+from repro.errors import QueryError, QueryParseError
+from repro.kb.instances import InstanceStore
+from repro.query.ast import Aggregate, Condition, Query
+from repro.query.engine import AGGREGATE_ROW_ID, QueryEngine
+from repro.query.parser import parse_query
+from repro.query.views import ViewCatalog
+from repro.workloads.paper_example import DG_PER_EURO, PS_PER_EURO
+
+
+@pytest.fixture
+def engine(
+    transport: Articulation,
+    carrier_kb: InstanceStore,
+    factory_kb: InstanceStore,
+) -> QueryEngine:
+    return QueryEngine(
+        transport, {"carrier": carrier_kb, "factory": factory_kb}
+    )
+
+
+class TestAggregateAst:
+    def test_unknown_fn_rejected(self) -> None:
+        with pytest.raises(QueryError):
+            Aggregate("median", "price")
+
+    def test_star_only_for_count(self) -> None:
+        with pytest.raises(QueryError):
+            Aggregate("min", "*")
+        assert Aggregate("count", "*").label() == "count(*)"
+
+    def test_compute_semantics(self) -> None:
+        assert Aggregate("count", "*").compute([1, None, 3]) == 3
+        assert Aggregate("count", "x").compute([1, None, 3]) == 2
+        assert Aggregate("min", "x").compute([5, 2, 9]) == 2
+        assert Aggregate("max", "x").compute([5, 2, 9]) == 9
+        assert Aggregate("sum", "x").compute([1, 2, 3]) == 6
+        assert Aggregate("avg", "x").compute([2, 4]) == 3.0
+
+    def test_compute_ignores_non_numeric(self) -> None:
+        assert Aggregate("min", "x").compute(["a", None, 7]) == 7
+        assert Aggregate("avg", "x").compute(["a", None]) is None
+
+    def test_query_rejects_select_plus_aggregates(self) -> None:
+        with pytest.raises(QueryError):
+            Query.over(
+                "t:V", select=["x"], aggregates=[Aggregate("count", "*")]
+            )
+
+    def test_negative_limit_rejected(self) -> None:
+        with pytest.raises(QueryError):
+            Query.over("t:V", limit=-1)
+
+
+class TestParserExtensions:
+    def test_order_by(self) -> None:
+        query = parse_query(
+            "SELECT price FROM t:V ORDER BY price DESC, model"
+        )
+        assert query.order_by == (("price", True), ("model", False))
+
+    def test_order_by_asc_keyword(self) -> None:
+        query = parse_query("SELECT price FROM t:V ORDER BY price ASC")
+        assert query.order_by == (("price", False),)
+
+    def test_limit(self) -> None:
+        assert parse_query("SELECT * FROM t:V LIMIT 3").limit == 3
+
+    def test_where_order_limit_together(self) -> None:
+        query = parse_query(
+            "SELECT price FROM t:V WHERE price > 1 "
+            "ORDER BY price LIMIT 2"
+        )
+        assert query.where == (Condition("price", ">", 1),)
+        assert query.order_by == (("price", False),)
+        assert query.limit == 2
+
+    def test_aggregates(self) -> None:
+        query = parse_query("SELECT COUNT(*), AVG(price) FROM t:V")
+        assert [a.label() for a in query.aggregates] == [
+            "count(*)",
+            "avg(price)",
+        ]
+        assert query.select == ()
+
+    def test_mixed_projection_rejected(self) -> None:
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT price, COUNT(*) FROM t:V")
+
+    def test_unknown_aggregate_rejected(self) -> None:
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT MEDIAN(price) FROM t:V")
+
+    def test_round_trip_with_extensions(self) -> None:
+        text = (
+            "SELECT price FROM t:V WHERE price < 10 "
+            "ORDER BY price DESC LIMIT 4"
+        )
+        query = parse_query(text)
+        assert parse_query(str(query)) == query
+
+    def test_aggregate_round_trip(self) -> None:
+        query = parse_query("SELECT COUNT(*), MIN(price) FROM t:V")
+        assert parse_query(str(query)) == query
+
+
+class TestExecution:
+    def test_order_by_converted_metric(self, engine: QueryEngine) -> None:
+        rows = engine.execute(
+            "SELECT price FROM transport:Vehicle ORDER BY price"
+        )
+        prices = [row.get("price") for row in rows]
+        assert prices == sorted(prices)
+
+    def test_order_by_desc_with_limit(self, engine: QueryEngine) -> None:
+        rows = engine.execute(
+            "SELECT price FROM transport:Vehicle ORDER BY price DESC LIMIT 2"
+        )
+        assert len(rows) == 2
+        all_rows = engine.execute(
+            "SELECT price FROM transport:Vehicle ORDER BY price DESC"
+        )
+        assert [r.instance_id for r in rows] == [
+            r.instance_id for r in all_rows[:2]
+        ]
+
+    def test_order_by_unselected_attribute(self, engine: QueryEngine) -> None:
+        rows = engine.execute(
+            "SELECT model FROM carrier:Trucks ORDER BY price DESC"
+        )
+        # Projection strips price, but the order still reflects it.
+        assert set(rows[0].values) == {"model"}
+        priced = engine.execute(
+            "SELECT price, model FROM carrier:Trucks ORDER BY price DESC"
+        )
+        assert [r.instance_id for r in rows] == [
+            r.instance_id for r in priced
+        ]
+
+    def test_order_by_string_attribute(self, engine: QueryEngine) -> None:
+        rows = engine.execute(
+            "SELECT model FROM carrier:Trucks ORDER BY model"
+        )
+        models = [r.get("model") for r in rows if r.get("model")]
+        assert models == sorted(models)
+
+    def test_rows_missing_order_attribute_sort_last(
+        self, engine: QueryEngine
+    ) -> None:
+        rows = engine.execute(
+            "SELECT weight FROM transport:Vehicle ORDER BY weight"
+        )
+        weights = [r.get("weight") for r in rows]
+        tail_none = [w for w in weights if w is None]
+        head = [w for w in weights if w is not None]
+        assert weights == head + tail_none
+
+    def test_count_star(self, engine: QueryEngine) -> None:
+        rows = engine.execute("SELECT COUNT(*) FROM transport:Vehicle")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.instance_id == AGGREGATE_ROW_ID
+        plain = engine.execute("SELECT * FROM transport:Vehicle")
+        assert row.get("count(*)") == len(plain)
+
+    def test_aggregates_over_converted_values(
+        self, engine: QueryEngine
+    ) -> None:
+        rows = engine.execute(
+            "SELECT MIN(price), MAX(price) FROM transport:Vehicle"
+        )
+        row = rows[0]
+        # Min is factory LineTruck2 (9800 DG), max factory LineTruck1
+        # (61000 DG) — both reported in Euro.
+        assert row.get("min(price)") == pytest.approx(9800 / DG_PER_EURO)
+        assert row.get("max(price)") == pytest.approx(61000 / DG_PER_EURO)
+
+    def test_aggregate_with_where(self, engine: QueryEngine) -> None:
+        rows = engine.execute(
+            "SELECT COUNT(*) FROM transport:Vehicle WHERE price < 10000"
+        )
+        # LineTruck2 (4447 EUR) and ProtoVehicle1 (8849 EUR).
+        assert rows[0].get("count(*)") == 2
+
+    def test_aggregate_on_empty_result(self, engine: QueryEngine) -> None:
+        rows = engine.execute(
+            "SELECT COUNT(*), AVG(price) FROM transport:Vehicle "
+            "WHERE price < 0"
+        )
+        assert rows[0].get("count(*)") == 0
+        assert rows[0].get("avg(price)") is None
+
+
+class TestViewsWithExtensions:
+    def test_view_answers_ordered_limited_query(
+        self, engine: QueryEngine
+    ) -> None:
+        catalog = ViewCatalog(engine)
+        catalog.define("v", "SELECT * FROM transport:Vehicle")
+        via_view = catalog.execute(
+            "SELECT price FROM transport:Vehicle ORDER BY price LIMIT 2"
+        )
+        live = engine.execute(
+            "SELECT price FROM transport:Vehicle ORDER BY price LIMIT 2"
+        )
+        assert catalog.hits == 1
+        assert [(r.instance_id, r.get("price")) for r in via_view] == [
+            (r.instance_id, r.get("price")) for r in live
+        ]
+
+    def test_view_answers_aggregate_query(self, engine: QueryEngine) -> None:
+        catalog = ViewCatalog(engine)
+        catalog.define("v", "SELECT * FROM transport:Vehicle")
+        via_view = catalog.execute(
+            "SELECT COUNT(*), AVG(price) FROM transport:Vehicle"
+        )
+        live = engine.execute(
+            "SELECT COUNT(*), AVG(price) FROM transport:Vehicle"
+        )
+        assert catalog.hits == 1
+        assert via_view[0].get("count(*)") == live[0].get("count(*)")
+        assert via_view[0].get("avg(price)") == pytest.approx(
+            live[0].get("avg(price)")
+        )

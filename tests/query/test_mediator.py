@@ -1,0 +1,112 @@
+"""Unit tests for automatic mediator derivation (paper §1, §2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.articulation import Articulation
+from repro.formats import idl
+from repro.query.mediator import generate_mediator
+
+
+@pytest.fixture
+def spec(transport: Articulation):
+    return generate_mediator(transport)
+
+
+class TestSpecStructure:
+    def test_exports_every_articulation_class(self, spec) -> None:
+        names = {cls.name for cls in spec.classes}
+        assert names == {
+            "Vehicle",
+            "PassengerCar",
+            "Owner",
+            "Person",
+            "CargoCarrierVehicle",
+            "CarsTrucks",
+            "Euro",
+        }
+
+    def test_sources_listed(self, spec) -> None:
+        assert spec.sources == ("carrier", "factory")
+
+    def test_vehicle_scans_match_reformulation(self, spec) -> None:
+        vehicle = spec.get("Vehicle")
+        assert vehicle is not None
+        assert vehicle.scans == {
+            "carrier": ("Car",),
+            "factory": ("Vehicle",),
+        }
+
+    def test_vehicle_attributes_from_both_sources(self, spec) -> None:
+        vehicle = spec.get("Vehicle")
+        assert vehicle is not None
+        # Price (both), weight (factory GoodsVehicle), plus the carrier
+        # Car's inherited attributes.
+        assert "price" in vehicle.attributes
+        assert "weight" in vehicle.attributes
+
+    def test_conversions_documented(self, spec) -> None:
+        vehicle = spec.get("Vehicle")
+        assert vehicle is not None
+        chains = [
+            chain
+            for chains in vehicle.conversions.values()
+            for chain in chains
+        ]
+        assert any("PSToEuroFn" in chain for chain in chains)
+        assert any("DGToEuroFn" in chain for chain in chains)
+
+    def test_internal_structure_becomes_inheritance(self, spec) -> None:
+        owner = spec.get("Owner")
+        assert owner is not None
+        assert owner.superclasses == ("Person",)
+
+    def test_unbridged_class_has_no_scans(self, spec) -> None:
+        euro = spec.get("Euro")
+        assert euro is not None
+        assert euro.scans == {}
+
+    def test_get_unknown_class(self, spec) -> None:
+        assert spec.get("Nope") is None
+
+
+class TestOdlRendering:
+    def test_odl_parses_back_as_ontology(self, spec) -> None:
+        """The emitted ODL is valid input for our own IDL wrapper."""
+        text = spec.to_odl()
+        onto = idl.loads(text)
+        assert onto.name == "transport"
+        for cls in spec.classes:
+            assert onto.has_term(cls.name)
+        # Inheritance survives the round trip.
+        assert onto.graph.has_edge("Owner", "S", "Person")
+
+    def test_odl_contains_mapping_comments(self, spec) -> None:
+        text = spec.to_odl()
+        assert "// Vehicle <- carrier: Car" in text
+        assert "// convert price" in text
+
+    def test_odl_lists_attributes(self, spec) -> None:
+        text = spec.to_odl()
+        assert "attribute any price;" in text
+
+
+class TestDerivedMediatorAnswersQueries:
+    def test_scan_lists_agree_with_live_planner(
+        self, spec, transport: Articulation
+    ) -> None:
+        """The mediator's static mapping equals what the planner would
+        compute at query time — it can drive an external application
+        without the Python planner."""
+        from repro.query.ast import Query
+        from repro.query.reformulate import reformulate
+
+        for cls in spec.classes:
+            if not cls.scans:
+                continue
+            plans = reformulate(
+                Query.over(f"transport:{cls.name}"), transport
+            )
+            live = {plan.source: plan.classes for plan in plans}
+            assert live == dict(cls.scans), cls.name

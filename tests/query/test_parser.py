@@ -1,0 +1,125 @@
+"""Unit tests for the query language parser and AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import TermRef
+from repro.errors import QueryError, QueryParseError
+from repro.query.ast import Condition, Query
+from repro.query.parser import parse_query
+
+
+class TestConditions:
+    def test_operator_validation(self) -> None:
+        with pytest.raises(QueryError):
+            Condition("price", "~", 5)
+
+    def test_attribute_lowercased(self) -> None:
+        assert Condition("Price", "<", 5).attribute == "price"
+
+    @pytest.mark.parametrize(
+        ("op", "value", "probe", "expected"),
+        [
+            ("=", 5, 5, True),
+            ("=", 5, 6, False),
+            ("!=", 5, 6, True),
+            ("<", 5, 4, True),
+            ("<=", 5, 5, True),
+            (">", 5, 6, True),
+            (">=", 5, 4, False),
+        ],
+    )
+    def test_evaluation(self, op, value, probe, expected) -> None:
+        assert Condition("x", op, value).evaluate(probe) is expected
+
+    def test_none_never_satisfies(self) -> None:
+        assert not Condition("x", "=", None).evaluate(None)
+
+    def test_type_mismatch_is_false(self) -> None:
+        assert not Condition("x", "<", 5).evaluate("a string")
+
+
+class TestQueryAst:
+    def test_target_must_be_qualified(self) -> None:
+        with pytest.raises(QueryError):
+            Query(TermRef(None, "Vehicle"))
+
+    def test_over_constructor(self) -> None:
+        query = Query.over("transport:Vehicle", select=["Price"])
+        assert query.target == TermRef("transport", "Vehicle")
+        assert query.select == ("price",)
+
+    def test_attributes_needed_unions_select_and_where(self) -> None:
+        query = Query.over(
+            "t:V",
+            select=["a"],
+            where=[Condition("b", "<", 1)],
+        )
+        assert query.attributes_needed() == {"a", "b"}
+
+    def test_str_round_trips_through_parser(self) -> None:
+        query = Query.over(
+            "transport:Vehicle",
+            select=["price"],
+            where=[Condition("price", "<", 10000)],
+        )
+        assert parse_query(str(query)) == query
+
+
+class TestParser:
+    def test_select_star(self) -> None:
+        query = parse_query("SELECT * FROM transport:Vehicle")
+        assert query.select == ()
+        assert query.where == ()
+
+    def test_projection_list(self) -> None:
+        query = parse_query("SELECT price, model FROM transport:Vehicle")
+        assert query.select == ("price", "model")
+
+    def test_where_single(self) -> None:
+        query = parse_query(
+            "SELECT price FROM transport:Vehicle WHERE price < 10000"
+        )
+        assert query.where == (Condition("price", "<", 10000),)
+
+    def test_where_and_chain(self) -> None:
+        query = parse_query(
+            "SELECT owner FROM carrier:Trucks "
+            "WHERE model = 'T800' AND price >= 5.5"
+        )
+        assert query.where == (
+            Condition("model", "=", "T800"),
+            Condition("price", ">=", 5.5),
+        )
+
+    def test_keywords_case_insensitive(self) -> None:
+        query = parse_query("select * from t:V where x = 1")
+        assert query.target == TermRef("t", "V")
+
+    def test_literal_types(self) -> None:
+        query = parse_query(
+            "SELECT * FROM t:V WHERE a = 1 AND b = 1.5 AND c = 'two words' "
+            'AND d = "quoted" AND e = bare AND f = true'
+        )
+        values = [c.value for c in query.where]
+        assert values == [1, 1.5, "two words", "quoted", "bare", True]
+
+    def test_trailing_semicolon_ok(self) -> None:
+        assert parse_query("SELECT * FROM t:V;").target.term == "V"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT FROM t:V",
+            "SELECT * FROM Vehicle",  # unqualified
+            "SELECT * FROM t:V WHERE",
+            "SELECT * FROM t:V WHERE price !! 5",
+            "SELECT a, FROM t:V",
+            "FROM t:V SELECT *",
+        ],
+    )
+    def test_malformed_queries_raise(self, bad: str) -> None:
+        with pytest.raises(QueryParseError):
+            parse_query(bad)

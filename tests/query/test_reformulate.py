@@ -1,0 +1,145 @@
+"""Unit tests for query reformulation across the articulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.articulation import Articulation
+from repro.core.unified import UnifiedOntology
+from repro.errors import PlanningError, QueryError
+from repro.query.ast import Query
+from repro.query.reformulate import SourcePlan, reformulate
+from repro.workloads.paper_example import DG_PER_EURO, PS_PER_EURO
+
+
+def plan_for(plans: list[SourcePlan], source: str) -> SourcePlan:
+    by_name = {p.source: p for p in plans}
+    assert source in by_name, f"no plan for {source}: {sorted(by_name)}"
+    return by_name[source]
+
+
+class TestClassFanout:
+    def test_articulation_target_fans_to_both_sources(
+        self, transport: Articulation
+    ) -> None:
+        plans = reformulate(Query.over("transport:Vehicle"), transport)
+        assert {p.source for p in plans} == {"carrier", "factory"}
+        assert plan_for(plans, "carrier").classes == ("Car",)
+        assert plan_for(plans, "factory").classes == ("Vehicle",)
+
+    def test_redundant_descendants_pruned(
+        self, transport: Articulation
+    ) -> None:
+        """factory:Truck and factory:GoodsVehicle imply transport:Vehicle
+        through factory:Vehicle; scanning Vehicle covers them."""
+        plans = reformulate(Query.over("transport:Vehicle"), transport)
+        assert plan_for(plans, "factory").classes == ("Vehicle",)
+
+    def test_source_target_includes_cross_source_specializations(
+        self, transport: Articulation
+    ) -> None:
+        """A query on carrier:Trucks must also reach factory's trucks
+        via transport:CargoCarrierVehicle (the conjunction rule)."""
+        plans = reformulate(Query.over("carrier:Trucks"), transport)
+        factory_plan = plan_for(plans, "factory")
+        assert set(factory_plan.classes) == {"GoodsVehicle"}
+        carrier_plan = plan_for(plans, "carrier")
+        assert carrier_plan.classes == ("Trucks",)
+
+    def test_disjunction_target(self, transport: Articulation) -> None:
+        plans = reformulate(Query.over("transport:CarsTrucks"), transport)
+        carrier_plan = plan_for(plans, "carrier")
+        assert set(carrier_plan.classes) == {"Cars", "Trucks"}
+        factory_plan = plan_for(plans, "factory")
+        assert factory_plan.classes == ("Vehicle",)
+
+    def test_unbridged_target_has_no_plan(
+        self, transport: Articulation
+    ) -> None:
+        with pytest.raises(PlanningError):
+            reformulate(Query.over("transport:Euro"), transport)
+
+    def test_unknown_target_term(self, transport: Articulation) -> None:
+        with pytest.raises(QueryError):
+            reformulate(Query.over("transport:Ghost"), transport)
+
+    def test_unknown_target_ontology(self, transport: Articulation) -> None:
+        with pytest.raises(PlanningError):
+            reformulate(Query.over("nowhere:Vehicle"), transport)
+
+    def test_accepts_unified_ontology(self, transport: Articulation) -> None:
+        unified = UnifiedOntology(transport)
+        plans = reformulate(Query.over("transport:Vehicle"), unified)
+        assert len(plans) == 2
+
+
+class TestConversions:
+    def test_both_sources_convert_price_to_euro(
+        self, transport: Articulation
+    ) -> None:
+        query = Query.over("transport:Vehicle", select=["price"])
+        plans = reformulate(query, transport)
+        carrier_conv = plan_for(plans, "carrier").conversions["price"]
+        assert carrier_conv.unit_from == "carrier:PoundSterling"
+        assert carrier_conv.unit_to == "transport:Euro"
+        assert carrier_conv.apply(PS_PER_EURO) == pytest.approx(1.0)
+        factory_conv = plan_for(plans, "factory").conversions["price"]
+        assert factory_conv.apply(DG_PER_EURO) == pytest.approx(1.0)
+
+    def test_two_hop_conversion_into_source_metric(
+        self, transport: Articulation
+    ) -> None:
+        """Querying the carrier's trucks pulls factory prices through
+        DG -> Euro -> PS (two functional bridges composed)."""
+        query = Query.over("carrier:Trucks", select=["price"])
+        plans = reformulate(query, transport)
+        factory_conv = plan_for(plans, "factory").conversions["price"]
+        assert factory_conv.unit_from == "factory:DutchGuilders"
+        assert factory_conv.unit_to == "carrier:PoundSterling"
+        assert len(factory_conv.chain) == 2
+        guilders = 100.0
+        expected = guilders / DG_PER_EURO * PS_PER_EURO
+        assert factory_conv.apply(guilders) == pytest.approx(expected)
+
+    def test_no_conversion_for_own_metric(
+        self, transport: Articulation
+    ) -> None:
+        query = Query.over("carrier:Trucks", select=["price"])
+        plans = reformulate(query, transport)
+        assert plan_for(plans, "carrier").conversions == {}
+
+    def test_non_numeric_values_pass_through(
+        self, transport: Articulation
+    ) -> None:
+        query = Query.over("transport:Vehicle", select=["price"])
+        plans = reformulate(query, transport)
+        conversion = plan_for(plans, "carrier").conversions["price"]
+        assert conversion.apply("N/A") == "N/A"
+        assert conversion.apply(True) is True
+
+    def test_where_attributes_also_converted(
+        self, transport: Articulation
+    ) -> None:
+        from repro.query.ast import Condition
+
+        query = Query.over(
+            "transport:Vehicle", where=[Condition("price", "<", 100)]
+        )
+        plans = reformulate(query, transport)
+        assert "price" in plan_for(plans, "carrier").conversions
+
+    def test_unconvertible_attribute_left_raw(
+        self, transport: Articulation
+    ) -> None:
+        query = Query.over("transport:Vehicle", select=["weight"])
+        plans = reformulate(query, transport)
+        assert plan_for(plans, "factory").conversions == {}
+
+    def test_source_plan_convert_helper(
+        self, transport: Articulation
+    ) -> None:
+        query = Query.over("transport:Vehicle", select=["price"])
+        plans = reformulate(query, transport)
+        carrier_plan = plan_for(plans, "carrier")
+        assert carrier_plan.convert("price", PS_PER_EURO) == pytest.approx(1.0)
+        assert carrier_plan.convert("weight", 10) == 10

@@ -1,0 +1,173 @@
+"""Unit tests for answering queries using materialized views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.articulation import Articulation
+from repro.errors import QueryError
+from repro.kb.instances import InstanceStore
+from repro.query.ast import Condition
+from repro.query.engine import QueryEngine
+from repro.query.views import MaterializedView, ViewCatalog, _condition_implies
+
+
+@pytest.fixture
+def engine(
+    transport: Articulation,
+    carrier_kb: InstanceStore,
+    factory_kb: InstanceStore,
+) -> QueryEngine:
+    return QueryEngine(
+        transport, {"carrier": carrier_kb, "factory": factory_kb}
+    )
+
+
+@pytest.fixture
+def catalog(engine: QueryEngine) -> ViewCatalog:
+    return ViewCatalog(engine)
+
+
+class TestConditionImplication:
+    def test_equal_conditions(self) -> None:
+        assert _condition_implies(
+            Condition("x", "<", 5), Condition("x", "<", 5)
+        )
+
+    def test_tighter_upper_bound_implies_looser(self) -> None:
+        assert _condition_implies(
+            Condition("x", "<", 5), Condition("x", "<", 10)
+        )
+        assert not _condition_implies(
+            Condition("x", "<", 10), Condition("x", "<", 5)
+        )
+
+    def test_equality_implies_range(self) -> None:
+        assert _condition_implies(
+            Condition("x", "=", 3), Condition("x", "<", 10)
+        )
+
+    def test_lower_bounds(self) -> None:
+        assert _condition_implies(
+            Condition("x", ">", 10), Condition("x", ">", 5)
+        )
+        assert _condition_implies(
+            Condition("x", ">=", 10), Condition("x", ">", 5)
+        )
+
+    def test_different_attributes_never_imply(self) -> None:
+        assert not _condition_implies(
+            Condition("x", "<", 5), Condition("y", "<", 10)
+        )
+
+    def test_string_equality(self) -> None:
+        assert _condition_implies(
+            Condition("m", "=", "T800"), Condition("m", "=", "T800")
+        )
+        assert not _condition_implies(
+            Condition("m", "=", "T800"), Condition("m", "=", "T900")
+        )
+
+
+class TestViewLifecycle:
+    def test_define_materializes(self, catalog: ViewCatalog) -> None:
+        view = catalog.define("vehicles", "SELECT * FROM transport:Vehicle")
+        assert not view.stale
+        assert view.rows
+        assert view.refresh_count == 1
+
+    def test_duplicate_name_rejected(self, catalog: ViewCatalog) -> None:
+        catalog.define("v", "SELECT * FROM transport:Vehicle")
+        with pytest.raises(QueryError):
+            catalog.define("v", "SELECT * FROM transport:Vehicle")
+
+    def test_invalidate_and_refresh(self, catalog: ViewCatalog) -> None:
+        catalog.define("v", "SELECT * FROM transport:Vehicle")
+        catalog.invalidate("v")
+        assert catalog.views["v"].stale
+        assert catalog.refresh_stale() == 1
+        assert not catalog.views["v"].stale
+
+    def test_invalidate_unknown_raises(self, catalog: ViewCatalog) -> None:
+        with pytest.raises(QueryError):
+            catalog.invalidate("ghost")
+
+    def test_invalidate_all(self, catalog: ViewCatalog) -> None:
+        catalog.define("v1", "SELECT * FROM transport:Vehicle")
+        catalog.define("v2", "SELECT * FROM carrier:Trucks")
+        catalog.invalidate()
+        assert all(v.stale for v in catalog.views.values())
+
+
+class TestAnswering:
+    def test_same_query_hits_view(self, catalog: ViewCatalog) -> None:
+        catalog.define("v", "SELECT * FROM transport:Vehicle")
+        live = catalog.engine.execute("SELECT price FROM transport:Vehicle")
+        answered = catalog.execute("SELECT price FROM transport:Vehicle")
+        assert catalog.hits == 1
+        assert [(r.source, r.instance_id) for r in answered] == [
+            (r.source, r.instance_id) for r in live
+        ]
+
+    def test_residual_predicate_applied_on_view(
+        self, catalog: ViewCatalog
+    ) -> None:
+        catalog.define("v", "SELECT * FROM transport:Vehicle")
+        answered = catalog.execute(
+            "SELECT price FROM transport:Vehicle WHERE price < 10000"
+        )
+        live = catalog.engine.execute(
+            "SELECT price FROM transport:Vehicle WHERE price < 10000"
+        )
+        assert catalog.hits == 1
+        assert {r.instance_id for r in answered} == {
+            r.instance_id for r in live
+        }
+
+    def test_view_with_predicate_only_answers_contained_queries(
+        self, catalog: ViewCatalog
+    ) -> None:
+        catalog.define(
+            "cheap", "SELECT * FROM transport:Vehicle WHERE price < 10000"
+        )
+        catalog.execute(
+            "SELECT price FROM transport:Vehicle WHERE price < 5000"
+        )
+        assert catalog.hits == 1
+        catalog.execute("SELECT price FROM transport:Vehicle")
+        assert catalog.misses == 1  # wider query cannot use the view
+
+    def test_specialized_class_answered_by_general_view(
+        self, catalog: ViewCatalog
+    ) -> None:
+        catalog.define("v", "SELECT * FROM transport:Vehicle")
+        answered = catalog.execute("SELECT price FROM carrier:Car")
+        assert catalog.hits == 1
+        assert answered  # FleetCar1 comes back from the view
+
+    def test_general_query_not_answered_by_specialized_view(
+        self, catalog: ViewCatalog
+    ) -> None:
+        catalog.define("v", "SELECT * FROM carrier:Trucks")
+        catalog.execute("SELECT price FROM transport:Vehicle")
+        assert catalog.misses == 1
+
+    def test_stale_view_is_skipped(self, catalog: ViewCatalog) -> None:
+        catalog.define("v", "SELECT * FROM transport:Vehicle")
+        catalog.invalidate("v")
+        catalog.execute("SELECT price FROM transport:Vehicle")
+        assert catalog.misses == 1
+
+    def test_view_reflects_source_updates_after_refresh(
+        self,
+        engine: QueryEngine,
+        carrier_kb: InstanceStore,
+    ) -> None:
+        catalog = ViewCatalog(engine)
+        catalog.define("v", "SELECT * FROM carrier:Trucks")
+        before = len(catalog.execute("SELECT * FROM carrier:Trucks"))
+        carrier_kb.add("HaulTruck3", "Trucks", price=100, model="T100")
+        catalog.invalidate("v")
+        catalog.refresh_stale()
+        after = len(catalog.execute("SELECT * FROM carrier:Trucks"))
+        assert after == before + 1

@@ -1,0 +1,145 @@
+"""Unit tests for the viewer: rendering and the expert session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.articulation import Articulation
+from repro.core.ontology import Ontology
+from repro.errors import OnionError
+from repro.viewer.render import (
+    render_articulation,
+    render_hierarchy,
+    render_ontology,
+)
+from repro.viewer.session import ExpertSession
+
+
+class TestRenderHierarchy:
+    def test_tree_shape(self, carrier: Ontology) -> None:
+        text = render_hierarchy(carrier)
+        lines = text.splitlines()
+        assert lines[0] == "carrier"
+        assert any("+- Transportation" in line for line in lines)
+        # Car is indented under Cars under Carrier.
+        car_line = next(line for line in lines if line.endswith("+- Car"))
+        assert car_line.startswith("      ")
+
+    def test_multi_parent_marker(self, factory: Ontology) -> None:
+        text = render_hierarchy(factory)
+        # GoodsVehicle appears under both Vehicle and CargoCarrier; the
+        # second occurrence carries a star.
+        assert text.count("+- GoodsVehicle") == 2
+        assert "+- GoodsVehicle *" in text
+
+    def test_cyclic_terms_still_listed(self) -> None:
+        onto = Ontology("o")
+        onto.add_term("A")
+        onto.add_term("B")
+        onto.relate("A", "S", "B")
+        onto.relate("B", "S", "A")
+        text = render_hierarchy(onto)
+        assert "(cyclic)" in text
+
+    def test_custom_relation(self, carrier: Ontology) -> None:
+        text = render_hierarchy(carrier, relation="AttributeOf")
+        assert "carrier" in text
+
+
+class TestRenderSummaries:
+    def test_render_ontology_counts(self, carrier: Ontology) -> None:
+        text = render_ontology(carrier)
+        assert f"{carrier.term_count()} terms" in text
+        assert "other relationships:" in text
+        assert "Car -drivenBy-> Driver" in text
+
+    def test_render_articulation_sections(
+        self, transport: Articulation
+    ) -> None:
+        text = render_articulation(transport)
+        assert "articulation 'transport'" in text
+        assert "bridges (17):" in text
+        assert "conversion functions:" in text
+        assert "PSToEuroFn()" in text
+        assert "carrier:Car -SIBridge-> transport:Vehicle" in text
+
+
+class TestExpertSession:
+    @pytest.fixture
+    def session(self, carrier: Ontology, factory: Ontology) -> ExpertSession:
+        session = ExpertSession(articulation_name="transport")
+        session.import_ontology(carrier)
+        session.import_ontology(factory)
+        return session
+
+    def test_import_duplicate_rejected(
+        self, session: ExpertSession, carrier: Ontology
+    ) -> None:
+        with pytest.raises(OnionError):
+            session.import_ontology(carrier.copy())
+
+    def test_drop_ontology(self, session: ExpertSession) -> None:
+        session.drop_ontology("factory")
+        assert "factory" not in session.ontologies
+        with pytest.raises(OnionError):
+            session.drop_ontology("factory")
+
+    def test_view_ontology(self, session: ExpertSession) -> None:
+        assert "carrier" in session.view("carrier")
+        with pytest.raises(OnionError):
+            session.view("nothing")
+
+    def test_specify_rule_and_generate(self, session: ExpertSession) -> None:
+        session.specify_rule("carrier:Car => factory:Vehicle")
+        articulation = session.generate()
+        assert articulation.ontology.has_term("Vehicle")
+        assert "transport" in session.view("transport")
+
+    def test_generate_requires_two_ontologies(self) -> None:
+        session = ExpertSession()
+        with pytest.raises(OnionError):
+            session.generate()
+
+    def test_suggest_accept_reject_flow(self, session: ExpertSession) -> None:
+        candidates = session.suggest("carrier", "factory")
+        assert candidates
+        n_pending = len(session.pending())
+        accepted = session.accept(0)
+        assert accepted == 1
+        assert len(session.pending()) < n_pending
+        rejected = session.reject(0)
+        assert rejected == 1
+        articulation = session.generate()
+        assert len(articulation.rules) >= 1
+
+    def test_suggest_unknown_ontology(self, session: ExpertSession) -> None:
+        with pytest.raises(OnionError):
+            session.suggest("carrier", "nowhere")
+
+    def test_rule_change_invalidates_articulation(
+        self, session: ExpertSession
+    ) -> None:
+        session.specify_rule("carrier:Car => factory:Vehicle")
+        session.generate()
+        session.specify_rule("carrier:Trucks => factory:CargoCarrier")
+        assert session.articulation is None
+
+    def test_export_dot(self, tmp_path, session: ExpertSession) -> None:
+        session.specify_rule("carrier:Car => factory:Vehicle")
+        session.generate()
+        path = tmp_path / "art.dot"
+        session.export_dot(path)
+        assert "cluster" in path.read_text()
+
+    def test_export_dot_requires_generation(
+        self, tmp_path, session: ExpertSession
+    ) -> None:
+        with pytest.raises(OnionError):
+            session.export_dot(tmp_path / "art.dot")
+
+    def test_export_dot_single_ontology(self, tmp_path, carrier) -> None:
+        session = ExpertSession()
+        session.import_ontology(carrier)
+        path = tmp_path / "one.dot"
+        session.export_dot(path)
+        assert path.read_text().startswith("digraph")
