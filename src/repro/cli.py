@@ -31,11 +31,13 @@ from repro.core.ontology import Ontology
 from repro.core.rules import ArticulationRuleSet, parse_rules
 from repro.errors import OnionError
 from repro.formats import adjacency, dot, idl, rdf, xmlfmt
+from repro.kb.backends import BACKENDS, SQLiteBackend
 from repro.kb.serialize import load_store
 from repro.lexicon.skat import SkatEngine
 from repro.lexicon.wordnet import MiniWordNet
 from repro.query.engine import QueryEngine
 from repro.query.mediator import generate_mediator
+from repro.query.planner import Planner
 from repro.viewer.render import render_articulation, render_ontology
 
 __all__ = ["main", "build_parser"]
@@ -199,10 +201,14 @@ def cmd_mediator(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_query(args: argparse.Namespace) -> int:
-    sources = [load_ontology(path) for path in args.sources]
-    articulation = _articulate(sources, args.rules, args.name)
-    stores = {}
+def _parse_kb_specs(
+    args: argparse.Namespace, articulation: Articulation
+) -> list[tuple[str, str]]:
+    """Validate ``--kb``/``--db`` arguments; returns (source, path)
+    pairs without touching any instance data."""
+    if args.db and args.backend != "sqlite":
+        raise OnionError("--db only applies to --backend sqlite")
+    specs = []
     for spec in args.kb:
         if "=" not in spec:
             raise OnionError(
@@ -211,10 +217,43 @@ def cmd_query(args: argparse.Namespace) -> int:
         source_name, kb_path = spec.split("=", 1)
         if source_name not in articulation.sources:
             raise OnionError(f"--kb names unknown source {source_name!r}")
-        stores[source_name] = load_store(
-            kb_path, articulation.sources[source_name]
-        )
-    engine = QueryEngine(articulation, stores)
+        specs.append((source_name, kb_path))
+    return specs
+
+
+def _load_stores(args: argparse.Namespace, articulation: Articulation):
+    """Load ``--kb source=file.json`` stores, migrating them onto the
+    selected storage backend (``--backend sqlite`` persists under
+    ``--db DIR``, one database per source, or in-memory SQLite)."""
+    stores = {}
+    for source_name, kb_path in _parse_kb_specs(args, articulation):
+        store = load_store(kb_path, articulation.sources[source_name])
+        if args.backend == "sqlite":
+            if args.db:
+                db_dir = Path(args.db)
+                try:
+                    db_dir.mkdir(parents=True, exist_ok=True)
+                except (FileExistsError, NotADirectoryError):
+                    raise OnionError(
+                        f"--db must name a directory, and {args.db!r} "
+                        "is an existing file"
+                    ) from None
+                backend = SQLiteBackend(db_dir / f"{source_name}.sqlite")
+            else:
+                backend = SQLiteBackend()
+            # The --kb JSON is the source of truth: a reused database
+            # must not keep rows the JSON no longer contains.
+            backend.clear()
+            store = store.clone(backend)
+        stores[source_name] = store
+    return stores
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    sources = [load_ontology(path) for path in args.sources]
+    articulation = _articulate(sources, args.rules, args.name)
+    stores = _load_stores(args, articulation)
+    engine = QueryEngine(articulation, stores, pushdown=args.pushdown)
     plan = engine.plan(args.query)
     if args.explain:
         print(plan.describe())
@@ -226,6 +265,27 @@ def cmd_query(args: argparse.Namespace) -> int:
         )
         print(f"{row.source}:{row.instance_id} [{row.cls}] {values}")
     print(f"({len(rows)} row(s))")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the physical plan without executing it — and without
+    loading or migrating any instance data.  With ``--kb`` the plan is
+    restricted to (and annotated for) the named sources; without,
+    every bridged source is planned."""
+    from repro.query.parser import parse_query
+
+    sources = [load_ontology(path) for path in args.sources]
+    articulation = _articulate(sources, args.rules, args.name)
+    names = [name for name, _ in _parse_kb_specs(args, articulation)]
+    planner = Planner(articulation, pushdown=args.pushdown)
+    plan = planner.plan(
+        parse_query(args.query),
+        available=frozenset(names) if names else None,
+    )
+    print(plan.describe())
+    for name in sorted(names):
+        print(f"backend {name}: {args.backend}")
     return 0
 
 
@@ -308,24 +368,51 @@ def build_parser() -> argparse.ArgumentParser:
     mediator.add_argument("--out", help="write ODL here instead of stdout")
     mediator.set_defaults(fn=cmd_mediator)
 
+    def add_query_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument("query")
+        command.add_argument("sources", nargs="+")
+        command.add_argument("--rules", help="rule file")
+        command.add_argument("--name", default="articulation")
+        command.add_argument(
+            "--kb",
+            action="append",
+            default=[],
+            metavar="SOURCE=FILE.json",
+            help="instance data for one source (repeatable)",
+        )
+        command.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default="memory",
+            help="storage backend the instance data is loaded into",
+        )
+        command.add_argument(
+            "--db",
+            help="directory for sqlite databases (one per source); "
+            "default is in-memory sqlite",
+        )
+        command.add_argument(
+            "--pushdown",
+            action="store_true",
+            help="translate WHERE predicates into each source's metric "
+            "and evaluate them at the store (SQL for sqlite)",
+        )
+
     query = sub.add_parser(
         "query", help="run a query across articulated sources"
     )
-    query.add_argument("query")
-    query.add_argument("sources", nargs="+")
-    query.add_argument("--rules", help="rule file")
-    query.add_argument("--name", default="articulation")
-    query.add_argument(
-        "--kb",
-        action="append",
-        default=[],
-        metavar="SOURCE=FILE.json",
-        help="instance data for one source (repeatable)",
-    )
+    add_query_args(query)
     query.add_argument(
         "--explain", action="store_true", help="print the execution plan"
     )
     query.set_defaults(fn=cmd_query)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the physical plan for a query without running it",
+    )
+    add_query_args(explain)
+    explain.set_defaults(fn=cmd_explain)
 
     return parser
 

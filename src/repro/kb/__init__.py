@@ -1,5 +1,26 @@
-"""Knowledge bases: instance stores behind the source wrappers."""
+"""Knowledge bases: instance stores behind the source wrappers.
 
+Storage itself is pluggable (see :mod:`repro.kb.backends`): the store
+validates against an ontology and expands subclass closure, while a
+backend — in-memory or SQLite — holds the rows and answers streaming
+scans with pushed-down filters and projections.
+"""
+
+from repro.kb.backends import (
+    BACKENDS,
+    InMemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    create_backend,
+)
 from repro.kb.instances import Instance, InstanceStore
 
-__all__ = ["Instance", "InstanceStore"]
+__all__ = [
+    "BACKENDS",
+    "InMemoryBackend",
+    "Instance",
+    "InstanceStore",
+    "SQLiteBackend",
+    "StorageBackend",
+    "create_backend",
+]

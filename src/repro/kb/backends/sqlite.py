@@ -1,0 +1,302 @@
+"""SQLite storage backend: persistent instances with SQL pushdown.
+
+Instances live in one table — ``instances(instance_id, cls, data)``
+with attributes as a JSON document — indexed by class.  A scan becomes
+one SQL statement and three things are pushed into it:
+
+* **class filters** — ``cls IN (...)`` over the index;
+* **predicates** — structured conditions compile to ``json_extract``
+  comparisons guarded by ``json_type`` so SQL's affinity rules cannot
+  diverge from Python's semantics (a numeric range predicate never
+  matches a text value, exactly like ``Condition.evaluate`` returning
+  False on a ``TypeError``); conditions that cannot be translated
+  faithfully (bool/None constants, exotic attribute names, NaN) are
+  evaluated in Python after the fetch — parity first, pushdown second;
+* **projections** — when the caller promises to read only some
+  attributes, only those JSON paths are extracted (``data -> '$.attr'``
+  keeps arrays/objects intact), so wide instances never cross the SQL
+  boundary.
+
+Rows come back ``ORDER BY instance_id``, so the backend is ``ordered``
+and the streaming executor can concatenate per-source streams without
+a final sort.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sqlite3
+from collections.abc import Callable, Iterable, Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.backends.base import StorageBackend, matches_conditions
+from repro.kb.instances import Instance
+
+__all__ = ["SQLiteBackend", "condition_to_sql"]
+
+# Attribute names are stored lowercase; only plain identifiers are
+# interpolated into JSON paths (everything else falls back to Python).
+_SAFE_ATTR = re.compile(r"^[a-z0-9_]+$")
+
+# The `->` JSON operator needs SQLite >= 3.38; older builds fall back
+# to fetching the full document (predicates still push via
+# json_extract, which is far older).
+_HAS_JSON_ARROW = sqlite3.sqlite_version_info >= (3, 38, 0)
+
+_RANGE_OPS = frozenset({"<", "<=", ">", ">="})
+_EQ_OPS = frozenset({"=", "=="})
+
+
+def condition_to_sql(condition) -> tuple[str, list[object]] | None:
+    """Compile one :class:`~repro.query.ast.Condition` to a SQL
+    fragment over the ``data`` JSON column, or None when a faithful
+    translation does not exist (the caller then evaluates in Python).
+    """
+    attr = condition.attribute
+    if not _SAFE_ATTR.match(attr):
+        return None
+    value = condition.value
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    # sqlite3 cannot bind ints outside the signed 64-bit range
+    if isinstance(value, int) and not -(2**63) <= value < 2**63:
+        return None
+    path = f'$."{attr}"'
+    extract = f"json_extract(data, '{path}')"
+    jtype = f"json_type(data, '{path}')"
+    op = condition.op
+    if isinstance(value, (int, float)):
+        if op in _EQ_OPS:
+            return f"{extract} = ?", [value]
+        if op == "!=":
+            return f"{extract} != ?", [value]
+        if op in _RANGE_OPS:
+            # json booleans compare as ints, matching Python bool<int;
+            # text/array/object values fail, matching the TypeError ->
+            # False contract of Condition.evaluate.
+            return (
+                f"({jtype} IN ('integer','real','true','false') "
+                f"AND {extract} {op} ?)",
+                [value],
+            )
+        return None
+    if isinstance(value, str):
+        if op in _EQ_OPS:
+            # json_extract renders arrays as text ('[1]'); the type
+            # guard keeps them from colliding with string constants.
+            return f"({jtype} = 'text' AND {extract} = ?)", [value]
+        if op == "!=":
+            # 'null' is a stored JSON null: Python sees None and fails
+            # every predicate, so SQL must exclude it too.
+            return (
+                f"({jtype} IS NOT NULL AND {jtype} != 'null' "
+                f"AND ({jtype} != 'text' OR {extract} != ?))",
+                [value],
+            )
+        if op in _RANGE_OPS:
+            return f"({jtype} = 'text' AND {extract} {op} ?)", [value]
+    return None
+
+
+class SQLiteBackend(StorageBackend):
+    """Instances persisted in SQLite (a file path or ``:memory:``)."""
+
+    ordered = True
+    kind = "sqlite"
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        super().__init__()
+        self.path = str(path)
+        # autocommit: every mutation is durable immediately; bulk()
+        # wraps loads in one transaction.
+        self._conn = sqlite3.connect(self.path, isolation_level=None)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS instances ("
+            " instance_id TEXT PRIMARY KEY,"
+            " cls TEXT NOT NULL,"
+            " data TEXT NOT NULL)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_instances_cls"
+            " ON instances (cls)"
+        )
+        #: last executed scan SQL, for explain/debugging/tests
+        self.last_sql: str | None = None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(instance: Instance) -> str:
+        try:
+            return json.dumps(dict(instance.attributes), allow_nan=False)
+        except (TypeError, ValueError) as exc:
+            raise KnowledgeBaseError(
+                f"instance {instance.instance_id!r} has attributes that "
+                f"cannot be stored in the sqlite backend: {exc}"
+            ) from exc
+
+    def insert(self, instance: Instance) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO instances (instance_id, cls, data)"
+            " VALUES (?, ?, ?)",
+            (instance.instance_id, instance.cls, self._encode(instance)),
+        )
+
+    def delete(self, instance_id: str) -> Instance | None:
+        instance = self.get(instance_id)
+        if instance is None:
+            return None
+        self._conn.execute(
+            "DELETE FROM instances WHERE instance_id = ?", (instance_id,)
+        )
+        return instance
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM instances")
+
+    @contextmanager
+    def bulk(self) -> Iterator[None]:
+        """Group many inserts into one transaction (bulk loading)."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    # ------------------------------------------------------------------
+    # point reads
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _row_to_instance(row: tuple[str, str, str]) -> Instance:
+        instance_id, cls, data = row
+        return Instance(instance_id, cls, json.loads(data))
+
+    def get(self, instance_id: str) -> Instance | None:
+        row = self._conn.execute(
+            "SELECT instance_id, cls, data FROM instances"
+            " WHERE instance_id = ?",
+            (instance_id,),
+        ).fetchone()
+        return self._row_to_instance(row) if row else None
+
+    def __contains__(self, instance_id: object) -> bool:
+        # existence only — skip fetching/decoding the JSON document
+        if not isinstance(instance_id, str):
+            return False
+        return (
+            self._conn.execute(
+                "SELECT 1 FROM instances WHERE instance_id = ?",
+                (instance_id,),
+            ).fetchone()
+            is not None
+        )
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM instances"
+        ).fetchone()
+        return count
+
+    def __iter__(self) -> Iterator[Instance]:
+        cursor = self._conn.execute(
+            "SELECT instance_id, cls, data FROM instances"
+            " ORDER BY instance_id"
+        )
+        for row in cursor:
+            yield self._row_to_instance(row)
+
+    def classes(self) -> set[str]:
+        return {
+            cls
+            for (cls,) in self._conn.execute(
+                "SELECT DISTINCT cls FROM instances"
+            )
+        }
+
+    # ------------------------------------------------------------------
+    # scan
+    # ------------------------------------------------------------------
+    def _projection_sql(
+        self, attrs: frozenset[str] | None
+    ) -> tuple[str, tuple[str, ...]] | None:
+        """Column list extracting only the requested JSON paths, or
+        None when projection cannot be pushed (fetch full ``data``)."""
+        if not attrs or not _HAS_JSON_ARROW:
+            return None
+        names = tuple(sorted(attrs))
+        if not all(_SAFE_ATTR.match(name) for name in names):
+            return None
+        # `->` (not `->>`) keeps JSON arrays/objects as JSON text so
+        # they decode back to the exact Python value.
+        columns = ", ".join(f"data -> '$.\"{name}\"'" for name in names)
+        return columns, names
+
+    def scan(
+        self,
+        classes: Iterable[str],
+        *,
+        conditions: tuple = (),
+        predicate: Callable[[Instance], bool] | None = None,
+        attrs: frozenset[str] | None = None,
+    ) -> Iterator[Instance]:
+        self.stats.scans += 1
+        class_list = sorted(set(classes))
+        if not class_list:
+            return
+        placeholders = ", ".join("?" for _ in class_list)
+        where = [f"cls IN ({placeholders})"]
+        params: list[object] = list(class_list)
+        residual: list = []
+        for condition in conditions:
+            compiled = condition_to_sql(condition)
+            if compiled is None:
+                residual.append(condition)
+                self.stats.conditions_python += 1
+            else:
+                fragment, fragment_params = compiled
+                where.append(fragment)
+                params.extend(fragment_params)
+                self.stats.conditions_pushed += 1
+
+        projection = self._projection_sql(attrs)
+        if projection is not None:
+            columns, names = projection
+            self.stats.projected_scans += 1
+            select = f"instance_id, cls, {columns}"
+        else:
+            names = ()
+            select = "instance_id, cls, data"
+        sql = (
+            f"SELECT {select} FROM instances"
+            f" WHERE {' AND '.join(where)}"
+            f" ORDER BY instance_id"
+        )
+        self.last_sql = sql
+        for row in self._conn.execute(sql, params):
+            if projection is not None:
+                attributes = {
+                    name: json.loads(cell)
+                    for name, cell in zip(names, row[2:])
+                    if cell is not None
+                }
+                instance = Instance(row[0], row[1], attributes)
+            else:
+                instance = self._row_to_instance(row)
+            if residual and not matches_conditions(instance, residual):
+                continue
+            if predicate is not None and not predicate(instance):
+                continue
+            self.stats.rows_yielded += 1
+            yield instance
+
+    def close(self) -> None:
+        self._conn.close()

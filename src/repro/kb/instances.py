@@ -3,16 +3,18 @@
 The paper's architecture (Fig. 1) pairs each source ontology with a
 knowledge base behind a wrapper; queries reformulated by the query
 processor ultimately run against these stores.  An
-:class:`InstanceStore` keeps typed instances with attribute values,
-indexed by class and by attribute value, and answers class queries
+:class:`InstanceStore` validates typed instances against one ontology
+and delegates all storage to a pluggable
+:class:`~repro.kb.backends.base.StorageBackend` (in-memory dict
+indexes by default, SQLite for persistence).  It answers class queries
 with or without subclass closure (closure uses the ontology's
 SubclassOf structure — the rule book the paper says query answering
-relies on).
+relies on); closure is expanded *here*, so backends stay ontology-free
+and only ever see concrete class sets.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Callable, Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
@@ -47,20 +49,29 @@ class Instance:
 
 
 class InstanceStore:
-    """An in-memory instance store validated against one ontology."""
+    """An instance store validated against one ontology.
+
+    Storage is delegated to a backend; the store owns validation
+    (class membership, strict attributes) and subclass-closure
+    expansion.  The default backend is the in-memory one; pass
+    ``backend=SQLiteBackend(path)`` for persistence.
+    """
 
     def __init__(
         self,
         ontology: Ontology,
         *,
         strict_attributes: bool = False,
+        backend: "StorageBackend | None" = None,
     ) -> None:
         """``strict_attributes`` rejects attribute names that are not
         declared (as AttributeOf terms) on the class or its ancestors."""
+        # Imported here: backends import Instance from this module.
+        from repro.kb.backends.memory import InMemoryBackend
+
         self.ontology = ontology
         self.strict_attributes = strict_attributes
-        self._instances: dict[str, Instance] = {}
-        self._by_class: dict[str, set[str]] = defaultdict(set)
+        self.backend = backend if backend is not None else InMemoryBackend()
 
     @property
     def name(self) -> str:
@@ -85,7 +96,7 @@ class InstanceStore:
     ) -> Instance:
         """Add an instance of ``cls``; attribute names are free-form
         unless the store is strict."""
-        if instance_id in self._instances:
+        if instance_id in self.backend:
             raise KnowledgeBaseError(
                 f"duplicate instance id {instance_id!r} in {self.name!r}"
             )
@@ -106,62 +117,104 @@ class InstanceStore:
                     f"or its ancestors in {self.name!r}"
                 )
         instance = Instance(instance_id, cls, merged)
-        self._instances[instance_id] = instance
-        self._by_class[cls].add(instance_id)
+        self.backend.insert(instance)
         return instance
 
     def remove(self, instance_id: str) -> Instance:
-        instance = self._instances.pop(instance_id, None)
+        instance = self.backend.delete(instance_id)
         if instance is None:
             raise KnowledgeBaseError(
                 f"no instance {instance_id!r} in {self.name!r}"
             )
-        self._by_class[instance.cls].discard(instance_id)
         return instance
+
+    def clone(self, backend: "StorageBackend") -> "InstanceStore":
+        """Copy every instance into ``backend`` and return a new store
+        over it (used to migrate a store between backends)."""
+        store = InstanceStore(
+            self.ontology,
+            strict_attributes=self.strict_attributes,
+            backend=backend,
+        )
+        bulk = getattr(backend, "bulk", None)
+        if bulk is not None:
+            with bulk():
+                for instance in self:
+                    backend.insert(instance)
+        else:
+            for instance in self:
+                backend.insert(instance)
+        return store
 
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def get(self, instance_id: str) -> Instance:
-        try:
-            return self._instances[instance_id]
-        except KeyError:
+        instance = self.backend.get(instance_id)
+        if instance is None:
             raise KnowledgeBaseError(
                 f"no instance {instance_id!r} in {self.name!r}"
-            ) from None
+            )
+        return instance
 
     def __contains__(self, instance_id: object) -> bool:
-        return instance_id in self._instances
+        return instance_id in self.backend
 
     def __len__(self) -> int:
-        return len(self._instances)
+        return len(self.backend)
 
     def __iter__(self) -> Iterator[Instance]:
-        return iter(self._instances.values())
+        return iter(self.backend)
 
     def classes(self) -> set[str]:
-        return {cls for cls, ids in self._by_class.items() if ids}
+        return self.backend.classes()
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _expand_classes(
+        self, classes: Iterable[str], include_subclasses: bool
+    ) -> set[str]:
+        """Validate class terms and apply subclass closure."""
+        expanded: set[str] = set()
+        for cls in classes:
+            if not self.ontology.has_term(cls):
+                raise KnowledgeBaseError(
+                    f"class {cls!r} is not a term of ontology {self.name!r}"
+                )
+            expanded.add(cls)
+            if include_subclasses:
+                expanded |= self.ontology.descendants(cls)
+        return expanded
+
+    def scan(
+        self,
+        classes: Iterable[str],
+        *,
+        include_subclasses: bool = True,
+        conditions: tuple = (),
+        predicate: Callable[[Instance], bool] | None = None,
+        attrs: frozenset[str] | None = None,
+    ) -> Iterator[Instance]:
+        """Stream instances of the given classes (the layered read
+        path: closure expands here, filtering/projection may be pushed
+        into the backend).  Yields in ascending ``instance_id`` order
+        when the backend is ordered."""
+        expanded = self._expand_classes(classes, include_subclasses)
+        return self.backend.scan(
+            expanded,
+            conditions=conditions,
+            predicate=predicate,
+            attrs=attrs,
+        )
+
     def instances_of(
         self, cls: str, *, include_subclasses: bool = True
     ) -> list[Instance]:
         """Instances of ``cls``; subclass closure follows SubclassOf."""
-        if not self.ontology.has_term(cls):
-            raise KnowledgeBaseError(
-                f"class {cls!r} is not a term of ontology {self.name!r}"
-            )
-        classes = {cls}
-        if include_subclasses:
-            classes |= self.ontology.descendants(cls)
-        result: list[Instance] = []
-        for term in classes:
-            result.extend(
-                self._instances[iid] for iid in self._by_class.get(term, ())
-            )
-        return sorted(result, key=lambda i: i.instance_id)
+        return list(
+            self.scan((cls,), include_subclasses=include_subclasses)
+        )
 
     def select(
         self,
@@ -171,19 +224,18 @@ class InstanceStore:
         include_subclasses: bool = True,
     ) -> list[Instance]:
         """Union of class queries, optionally filtered; de-duplicated."""
-        seen: dict[str, Instance] = {}
-        for cls in classes:
-            for instance in self.instances_of(
-                cls, include_subclasses=include_subclasses
-            ):
-                if predicate is None or predicate(instance):
-                    seen.setdefault(instance.instance_id, instance)
-        return sorted(seen.values(), key=lambda i: i.instance_id)
+        return list(
+            self.scan(
+                classes,
+                include_subclasses=include_subclasses,
+                predicate=predicate,
+            )
+        )
 
     def validate(self) -> list[str]:
         """Check every instance's class (and, if strict, attributes)."""
         issues: list[str] = []
-        for instance in self._instances.values():
+        for instance in self.backend:
             if not self.ontology.has_term(instance.cls):
                 issues.append(
                     f"instance {instance.instance_id!r} has unknown class "
@@ -202,5 +254,6 @@ class InstanceStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"<InstanceStore {self.name!r} instances={len(self._instances)}>"
+            f"<InstanceStore {self.name!r} "
+            f"backend={self.backend.kind} instances={len(self.backend)}>"
         )

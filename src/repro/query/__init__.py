@@ -1,5 +1,11 @@
 """The ONION query system: AST, parser, reformulation across bridges,
-planner/executor, wrappers and answering-using-views (paper §2.3)."""
+planner, streaming executor, wrappers and answering-using-views
+(paper §2.3).
+
+The query path is layered: ``parse -> reformulate (logical) -> plan
+(physical, cached) -> execute (streaming)``, with storage backends
+(:mod:`repro.kb.backends`) answering the scans at the bottom.
+"""
 
 from repro.query.ast import Aggregate, Condition, Query
 from repro.query.engine import (
@@ -8,12 +14,34 @@ from repro.query.engine import (
     ResultRow,
     finalize_rows,
 )
+from repro.query.executor import (
+    AGGREGATE_ROW_ID,
+    ExecutionStats,
+    StreamingExecutor,
+    project_rows,
+)
 from repro.query.mediator import (
     MediatorClass,
     MediatorSpec,
     generate_mediator,
 )
-from repro.query.pushdown import push_condition, pushable, source_predicate
+from repro.query.planner import (
+    FilterOp,
+    FinalizeOp,
+    MergeOp,
+    PhysicalPlan,
+    PlanCacheInfo,
+    Planner,
+    ScanOp,
+    SourcePipeline,
+    articulation_fingerprint,
+)
+from repro.query.pushdown import (
+    push_condition,
+    pushable,
+    source_predicate,
+    split_conditions,
+)
 from repro.query.parser import parse_query
 from repro.query.reformulate import Conversion, SourcePlan, reformulate
 from repro.query.views import MaterializedView, ViewCatalog
@@ -25,27 +53,41 @@ from repro.query.wrappers import (
 )
 
 __all__ = [
+    "AGGREGATE_ROW_ID",
     "Aggregate",
     "CallableWrapper",
     "Condition",
     "Conversion",
     "ExecutionPlan",
+    "ExecutionStats",
+    "FilterOp",
+    "FinalizeOp",
     "InstanceStoreWrapper",
     "MaterializedView",
     "MediatorClass",
     "MediatorSpec",
+    "MergeOp",
+    "PhysicalPlan",
+    "PlanCacheInfo",
+    "Planner",
     "Query",
     "QueryEngine",
     "ResultRow",
+    "ScanOp",
+    "SourcePipeline",
     "SourcePlan",
     "SourceWrapper",
+    "StreamingExecutor",
     "ViewCatalog",
+    "articulation_fingerprint",
     "as_wrapper",
     "finalize_rows",
     "generate_mediator",
     "parse_query",
+    "project_rows",
     "push_condition",
     "pushable",
     "reformulate",
     "source_predicate",
+    "split_conditions",
 ]

@@ -1,109 +1,62 @@
-"""The query engine: planning and execution (paper §2.3, Fig. 1).
+"""The query engine facade: planning and execution (paper §2.3, Fig. 1).
 
-:class:`QueryEngine` glues the pieces together: it reformulates a query
-over the articulation into per-source plans, fetches instances from
-each source's wrapper, applies value conversions, evaluates predicates
-in the target ontology's metric, projects the selected attributes and
-merges the per-source answers.
+:class:`QueryEngine` is now a thin coordinator over three layers:
+
+* the **planner** (:mod:`repro.query.planner`) reformulates a query
+  over the articulation into an explicit, cached
+  :class:`~repro.query.planner.PhysicalPlan`;
+* the **executor** (:mod:`repro.query.executor`) evaluates plans as
+  streaming iterator pipelines;
+* **storage backends** (:mod:`repro.kb.backends`) behind the source
+  wrappers answer the scans, with predicates and projections pushed
+  down as far as each backend can take them.
+
+The historical entry points — ``plan`` / ``run`` / ``execute``,
+``ResultRow``, ``finalize_rows`` and the ``ExecutionPlan`` name — are
+kept as thin shims over the new layers.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
-from dataclasses import dataclass, field
+from collections.abc import Mapping
 
 from repro.core.articulation import Articulation
 from repro.core.unified import UnifiedOntology
-from repro.errors import PlanningError
-from repro.kb.instances import Instance, InstanceStore
+from repro.kb.instances import InstanceStore
 from repro.query.ast import Query
+from repro.query.executor import (
+    AGGREGATE_ROW_ID,
+    ExecutionStats,
+    ResultRow,
+    StreamingExecutor,
+    finalize_rows,
+    project_rows,
+)
 from repro.query.parser import parse_query
-
-AGGREGATE_ROW_ID = "<aggregate>"
-
-
-def finalize_rows(query: Query, rows: list["ResultRow"]) -> list["ResultRow"]:
-    """Apply ORDER BY / LIMIT / aggregation to merged result rows.
-
-    Shared by the live executor and the view layer so both produce
-    identical result shapes.  Aggregation collapses the rows into a
-    single synthetic row (id ``<aggregate>``, source ``*``).
-    """
-    if query.aggregates:
-        values = {
-            agg.label(): agg.compute(
-                [row.get(agg.attribute) for row in rows]
-                if agg.attribute != "*"
-                else [True] * len(rows)
-            )
-            for agg in query.aggregates
-        }
-        return [
-            ResultRow(AGGREGATE_ROW_ID, "*", query.target.term, values)
-        ]
-    if query.order_by:
-        # Stable multi-key sort: apply keys in reverse significance;
-        # rows missing the attribute always sort last.
-        for attribute, descending in reversed(query.order_by):
-            present = [r for r in rows if r.get(attribute) is not None]
-            absent = [r for r in rows if r.get(attribute) is None]
-            try:
-                present.sort(
-                    key=lambda r: r.get(attribute),  # type: ignore[arg-type]
-                    reverse=descending,
-                )
-            except TypeError:  # mixed value types: compare as strings
-                present.sort(
-                    key=lambda r: str(r.get(attribute)), reverse=descending
-                )
-            rows = present + absent
-    if query.limit is not None:
-        rows = rows[: query.limit]
-    return rows
-from repro.query.reformulate import SourcePlan, reformulate
+from repro.query.planner import PhysicalPlan, PlanCacheInfo, Planner
 from repro.query.wrappers import SourceWrapper, as_wrapper
 
-__all__ = ["ExecutionPlan", "ResultRow", "QueryEngine"]
+__all__ = [
+    "AGGREGATE_ROW_ID",
+    "ExecutionPlan",
+    "ExecutionStats",
+    "QueryEngine",
+    "ResultRow",
+    "finalize_rows",
+    "project_rows",
+]
 
-
-@dataclass(frozen=True)
-class ResultRow:
-    """One answer: provenance plus the (converted) attribute values."""
-
-    instance_id: str
-    source: str
-    cls: str
-    values: Mapping[str, object]
-
-    def get(self, attribute: str, default: object | None = None) -> object:
-        return self.values.get(attribute.lower(), default)
-
-
-@dataclass(frozen=True)
-class ExecutionPlan:
-    """A fully reformulated query, ready to run."""
-
-    query: Query
-    source_plans: tuple[SourcePlan, ...]
-
-    def describe(self) -> str:
-        """A human-readable plan, the way the viewer would show it."""
-        lines = [f"plan for: {self.query}"]
-        for plan in self.source_plans:
-            lines.append(
-                f"  scan {plan.source}: classes={list(plan.classes)}"
-            )
-            for conversion in plan.conversions.values():
-                lines.append(f"    convert {conversion.describe()}")
-        return "\n".join(lines)
+#: Compatibility alias — plans are physical operator trees now.
+ExecutionPlan = PhysicalPlan
 
 
 class QueryEngine:
     """Plans and executes queries against wrapped sources.
 
     ``pushdown=True`` translates range predicates into each source's
-    metric through the inverse conversion functions and evaluates them
-    at the store, before any value conversion (see
+    metric through the inverse conversion functions and attaches them
+    to the scan operators, so backends evaluate them at the store —
+    in SQL, for the SQLite backend — before any value conversion (see
     :mod:`repro.query.pushdown`).
     """
 
@@ -113,113 +66,41 @@ class QueryEngine:
         stores: Mapping[str, InstanceStore | SourceWrapper],
         *,
         pushdown: bool = False,
+        plan_cache_size: int = 128,
     ) -> None:
         self.unified = UnifiedOntology(articulation)
         self.pushdown = pushdown
         self.wrappers: dict[str, SourceWrapper] = {
             name: as_wrapper(store) for name, store in stores.items()
         }
+        self.planner = Planner(
+            self.unified, pushdown=pushdown, cache_size=plan_cache_size
+        )
+        self.executor = StreamingExecutor(self.wrappers)
+        #: stats of the most recent :meth:`run` (peak rows, scan counts)
+        self.last_stats: ExecutionStats | None = None
 
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def plan(self, query: Query | str) -> ExecutionPlan:
+    def plan(self, query: Query | str) -> PhysicalPlan:
         if isinstance(query, str):
             query = parse_query(query)
-        source_plans = reformulate(query, self.unified)
-        executable = [
-            plan for plan in source_plans if plan.source in self.wrappers
-        ]
-        if not executable:
-            raise PlanningError(
-                "no knowledge base is registered for any of the sources "
-                f"{[p.source for p in source_plans]}"
-            )
-        return ExecutionPlan(query, tuple(executable))
+        return self.planner.plan(
+            query, available=frozenset(self.wrappers)
+        )
+
+    def plan_cache_info(self) -> PlanCacheInfo:
+        return self.planner.cache_info()
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def execute(self, query: Query | str) -> list[ResultRow]:
-        plan = self.plan(query)
-        return self.run(plan)
+        return self.run(self.plan(query))
 
-    def run(self, plan: ExecutionPlan) -> list[ResultRow]:
-        from repro.query.pushdown import source_predicate
-
-        query = plan.query
-        needed = query.attributes_needed()
-        rows: dict[tuple[str, str], ResultRow] = {}
-        for source_plan in plan.source_plans:
-            wrapper = self.wrappers[source_plan.source]
-            if self.pushdown:
-                predicate, residual = source_predicate(query, source_plan)
-            else:
-                predicate, residual = None, query.where
-            instances = wrapper.fetch(
-                source_plan.classes,
-                include_subclasses=query.include_subclasses,
-                predicate=predicate,
-            )
-            for instance in instances:
-                converted = self._convert_values(
-                    instance, source_plan, needed
-                )
-                if not all(
-                    condition.evaluate(converted.get(condition.attribute))
-                    for condition in residual
-                ):
-                    continue
-                projected = self._project(instance, converted, query)
-                key = (source_plan.source, instance.instance_id)
-                rows.setdefault(
-                    key,
-                    ResultRow(
-                        instance.instance_id,
-                        source_plan.source,
-                        instance.cls,
-                        projected,
-                    ),
-                )
-        merged = sorted(
-            rows.values(), key=lambda r: (r.source, r.instance_id)
-        )
-        finalized = finalize_rows(query, merged)
-        if query.aggregates or not query.select:
-            return finalized
-        # Projection last: ORDER BY may have used non-selected values.
-        return [
-            ResultRow(
-                row.instance_id,
-                row.source,
-                row.cls,
-                {attr: row.get(attr) for attr in query.select},
-            )
-            for row in finalized
-        ]
-
-    @staticmethod
-    def _convert_values(
-        instance: Instance, plan: SourcePlan, needed: set[str]
-    ) -> dict[str, object]:
-        attributes = needed if needed else set(instance.attributes)
-        return {
-            attr: plan.convert(attr, instance.get(attr))
-            for attr in attributes
-        }
-
-    @staticmethod
-    def _project(
-        instance: Instance,
-        converted: Mapping[str, object],
-        query: Query,
-    ) -> dict[str, object]:
-        if query.select:
-            # Carry every needed attribute (select + where + order by +
-            # aggregate inputs); run() projects down after finalizing.
-            return dict(converted)
-        # SELECT * / aggregates: every stored attribute, converted
-        # where applicable.
-        values = dict(instance.attributes)
-        values.update(converted)
-        return values
+    def run(self, plan: PhysicalPlan) -> list[ResultRow]:
+        stats = ExecutionStats()
+        rows = self.executor.run(plan, stats)
+        self.last_stats = stats
+        return rows

@@ -130,6 +130,8 @@ def generate_mediator(articulation: Articulation) -> MediatorSpec:
         superclasses = tuple(
             sorted(articulation.ontology.superclasses(term))
         )
+        # Every term is a distinct one-shot query, so this calls the
+        # logical layer directly — a plan cache could never hit here.
         try:
             plans = reformulate(
                 Query.over(qualify(articulation.name, term)), unified

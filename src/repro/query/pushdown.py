@@ -24,7 +24,12 @@ from __future__ import annotations
 from repro.query.ast import Condition, Query
 from repro.query.reformulate import SourcePlan
 
-__all__ = ["pushable", "push_condition", "source_predicate"]
+__all__ = [
+    "pushable",
+    "push_condition",
+    "source_predicate",
+    "split_conditions",
+]
 
 _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 _RANGE_OPS = frozenset(_FLIP)
@@ -61,12 +66,15 @@ def push_condition(condition: Condition, plan: SourcePlan) -> Condition:
     return Condition(condition.attribute, op, threshold)
 
 
-def source_predicate(query: Query, plan: SourcePlan):
-    """A store-level filter for the pushable subset of a query's WHERE.
+def split_conditions(
+    query: Query, plan: SourcePlan
+) -> tuple[tuple[Condition, ...], tuple[Condition, ...]]:
+    """Split a query's WHERE into ``(pushed, residual)`` for one source.
 
-    Returns ``(predicate, residual)``: ``predicate`` is a callable over
-    instances (or None when nothing pushes), ``residual`` the conditions
-    that must still run post-conversion.
+    ``pushed`` conditions are translated into the source's metric and
+    stay *structured*, so a storage backend can evaluate them natively
+    (the SQLite backend compiles them to SQL); ``residual`` conditions
+    must run post-conversion in the executor.
     """
     pushed: list[Condition] = []
     residual: list[Condition] = []
@@ -75,12 +83,24 @@ def source_predicate(query: Query, plan: SourcePlan):
             pushed.append(push_condition(condition, plan))
         else:
             residual.append(condition)
+    return tuple(pushed), tuple(residual)
+
+
+def source_predicate(query: Query, plan: SourcePlan):
+    """A store-level filter for the pushable subset of a query's WHERE.
+
+    Returns ``(predicate, residual)``: ``predicate`` is a callable over
+    instances (or None when nothing pushes), ``residual`` the conditions
+    that must still run post-conversion.  Thin shim over
+    :func:`split_conditions` for callers that want an opaque filter.
+    """
+    pushed, residual = split_conditions(query, plan)
     if not pushed:
-        return None, tuple(residual)
+        return None, residual
 
     def predicate(instance) -> bool:
         return all(
             c.evaluate(instance.get(c.attribute)) for c in pushed
         )
 
-    return predicate, tuple(residual)
+    return predicate, residual

@@ -123,8 +123,9 @@ class MaterializedView:
     def answer(self, query: Query) -> list[ResultRow]:
         """Evaluate the query's residual predicates over the view rows,
         then apply ordering, limits, aggregation and projection exactly
-        as the live executor would."""
-        from repro.query.engine import finalize_rows
+        as the live executor would (the finalize/project helpers are
+        shared with :mod:`repro.query.executor`)."""
+        from repro.query.executor import finalize_rows, project_rows
 
         kept = [
             ResultRow(row.instance_id, row.source, row.cls,
@@ -135,18 +136,7 @@ class MaterializedView:
                 for condition in query.where
             )
         ]
-        finalized = finalize_rows(query, kept)
-        if query.aggregates or not query.select:
-            return finalized
-        return [
-            ResultRow(
-                row.instance_id,
-                row.source,
-                row.cls,
-                {attr: row.get(attr) for attr in query.select},
-            )
-            for row in finalized
-        ]
+        return project_rows(query, finalize_rows(query, kept))
 
 
 class ViewCatalog:

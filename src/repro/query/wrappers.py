@@ -1,8 +1,14 @@
 """Source wrappers (paper Fig. 1: every knowledge base sits behind a
 wrapper the query engine talks to).
 
-A wrapper exposes one operation — fetch instances for a set of class
-terms — so the engine never depends on how a source stores its data.
+A wrapper exposes one streaming operation — ``scan`` instances for a
+set of class terms — so the engine never depends on how a source
+stores its data.  Scans carry the planner's pushdown hints through to
+the storage backend: structured ``conditions`` (evaluated in SQL by
+the SQLite backend), an opaque ``predicate``, and an ``attrs``
+projection.  ``fetch`` remains as an eager list-returning shim for old
+callers.
+
 :class:`InstanceStoreWrapper` adapts the in-memory store;
 :class:`CallableWrapper` adapts any function (useful for synthetic or
 remote-ish sources in tests and benchmarks).
@@ -10,10 +16,11 @@ remote-ish sources in tests and benchmarks).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.errors import QueryError
+from repro.kb.backends.base import matches_conditions
 from repro.kb.instances import Instance, InstanceStore
 
 __all__ = [
@@ -25,14 +32,42 @@ __all__ = [
 
 
 class SourceWrapper:
-    """Protocol: fetch instances of the given classes.
+    """Protocol: stream instances of the given classes.
 
-    ``predicate`` is an optional source-side filter (predicate
-    pushdown); wrappers may apply it wherever is cheapest for their
-    backing store.
+    ``conditions``/``predicate`` are optional source-side filters
+    (predicate pushdown); wrappers may apply them wherever is cheapest
+    for their backing store.  ``ordered`` promises scans yield unique
+    instances in ascending ``instance_id`` order — the streaming
+    executor's license to skip its sort barrier.
     """
 
     name: str
+    ordered: bool = False
+
+    def scan(
+        self,
+        classes: Sequence[str],
+        *,
+        include_subclasses: bool = True,
+        conditions: tuple = (),
+        predicate: Callable[[Instance], bool] | None = None,
+        attrs: frozenset[str] | None = None,
+    ) -> Iterator[Instance]:
+        # Pre-streaming wrappers override fetch() only: fall back to
+        # it, applying the structured conditions here in Python.
+        if type(self).fetch is not SourceWrapper.fetch:
+            for instance in self.fetch(
+                classes,
+                include_subclasses=include_subclasses,
+                predicate=predicate,
+            ):
+                if conditions and not matches_conditions(
+                    instance, conditions
+                ):
+                    continue
+                yield instance
+            return
+        raise NotImplementedError
 
     def fetch(
         self,
@@ -41,7 +76,14 @@ class SourceWrapper:
         include_subclasses: bool = True,
         predicate: Callable[[Instance], bool] | None = None,
     ) -> list[Instance]:
-        raise NotImplementedError
+        """Eager compatibility shim over :meth:`scan`."""
+        return list(
+            self.scan(
+                classes,
+                include_subclasses=include_subclasses,
+                predicate=predicate,
+            )
+        )
 
 
 @dataclass
@@ -56,39 +98,62 @@ class InstanceStoreWrapper(SourceWrapper):
     def name(self) -> str:  # type: ignore[override]
         return self.store.name
 
-    def fetch(
+    @property
+    def ordered(self) -> bool:  # type: ignore[override]
+        return self.store.backend.ordered
+
+    def scan(
         self,
         classes: Sequence[str],
         *,
         include_subclasses: bool = True,
+        conditions: tuple = (),
         predicate: Callable[[Instance], bool] | None = None,
-    ) -> list[Instance]:
+        attrs: frozenset[str] | None = None,
+    ) -> Iterator[Instance]:
         self.fetch_count += 1
-        rows = self.store.select(
-            classes, predicate, include_subclasses=include_subclasses
+        instances = self.store.scan(
+            classes,
+            include_subclasses=include_subclasses,
+            conditions=conditions,
+            predicate=predicate,
+            attrs=attrs,
         )
-        self.fetched_instances += len(rows)
-        return rows
+
+        def counted() -> Iterator[Instance]:
+            for instance in instances:
+                self.fetched_instances += 1
+                yield instance
+
+        return counted()
 
 
 @dataclass
 class CallableWrapper(SourceWrapper):
-    """Wrap a plain function producing instances."""
+    """Wrap a plain function producing instances.
+
+    The function cannot push anything down, so conditions and
+    predicates are applied here, after the call; scans make no
+    ordering promise (``ordered`` stays False)."""
 
     name: str
     fn: Callable[[Sequence[str], bool], Iterable[Instance]]
 
-    def fetch(
+    def scan(
         self,
         classes: Sequence[str],
         *,
         include_subclasses: bool = True,
+        conditions: tuple = (),
         predicate: Callable[[Instance], bool] | None = None,
-    ) -> list[Instance]:
-        rows = list(self.fn(classes, include_subclasses))
-        if predicate is not None:
-            rows = [row for row in rows if predicate(row)]
-        return rows
+        attrs: frozenset[str] | None = None,
+    ) -> Iterator[Instance]:
+        for instance in self.fn(classes, include_subclasses):
+            if conditions and not matches_conditions(instance, conditions):
+                continue
+            if predicate is not None and not predicate(instance):
+                continue
+            yield instance
 
 
 def as_wrapper(source: InstanceStore | SourceWrapper) -> SourceWrapper:

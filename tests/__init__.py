@@ -1,0 +1,1 @@
+"""Test suite package (needed so property tests can use relative imports)."""

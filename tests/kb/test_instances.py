@@ -84,8 +84,7 @@ class TestStrictAttributes:
         lax = InstanceStore(carrier)
         lax.add("i1", "Car", wingspan=3)
         strict = InstanceStore(carrier, strict_attributes=True)
-        strict._instances.update(lax._instances)  # simulate drift
-        strict._by_class.update(lax._by_class)
+        strict.backend.insert(lax.get("i1"))  # simulate drift
         issues = strict.validate()
         assert issues and "wingspan" in issues[0]
 

@@ -1,0 +1,1 @@
+"""Hypothesis property tests; package context enables relative imports."""

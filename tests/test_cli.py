@@ -270,6 +270,109 @@ class TestQuery:
         )
         assert code == 2
 
+    def test_sqlite_backend_matches_memory(self, world, capsys) -> None:
+        question = "SELECT price FROM transport:Vehicle WHERE price < 10000"
+        assert self.run_query(world, question) == 0
+        memory_out = capsys.readouterr().out
+        assert (
+            self.run_query(
+                world, question, "--backend", "sqlite", "--pushdown"
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == memory_out
+
+    def test_sqlite_backend_persists_to_db_dir(
+        self, world, tmp_path, capsys
+    ) -> None:
+        db_dir = tmp_path / "dbs"
+        code = self.run_query(
+            world,
+            "SELECT price FROM transport:Vehicle",
+            "--backend",
+            "sqlite",
+            "--db",
+            str(db_dir),
+        )
+        assert code == 0
+        assert sorted(p.name for p in db_dir.iterdir()) == [
+            "carrier.sqlite",
+            "factory.sqlite",
+        ]
+
+    def test_reused_db_dir_drops_rows_removed_from_kb(
+        self, world, tmp_path, capsys
+    ) -> None:
+        """The --kb JSON is the source of truth: reloading into an
+        existing database must not resurrect deleted instances."""
+        question = "SELECT COUNT(*) FROM transport:Vehicle"
+        args = ("--backend", "sqlite", "--db", str(tmp_path / "dbs"))
+        self.run_query(world, question, *args)
+        first = capsys.readouterr().out
+        payload = json.loads(world["factory_kb"].read_text())
+        payload["instances"] = payload["instances"][:-1]
+        world["factory_kb"].write_text(json.dumps(payload))
+        self.run_query(world, question, *args)
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_db_without_sqlite_backend_rejected(
+        self, world, tmp_path, capsys
+    ) -> None:
+        code = self.run_query(
+            world,
+            "SELECT * FROM transport:Vehicle",
+            "--db",
+            str(tmp_path / "dbs"),
+        )
+        assert code == 2
+        assert "--db only applies" in capsys.readouterr().err
+
+
+class TestExplain:
+    def run_explain(self, world, *extra: str):
+        return main(
+            [
+                "explain",
+                "SELECT price FROM transport:Vehicle WHERE price < 10000",
+                str(world["carrier"]),
+                str(world["factory"]),
+                "--rules",
+                str(world["rules"]),
+                "--name",
+                "transport",
+                *extra,
+            ]
+        )
+
+    def test_explain_without_stores_plans_all_sources(
+        self, world, capsys
+    ) -> None:
+        assert self.run_explain(world) == 0
+        out = capsys.readouterr().out
+        assert "scan carrier" in out
+        assert "scan factory" in out
+        assert "finalize" in out
+
+    def test_explain_shows_pushdown_into_sqlite(
+        self, world, capsys
+    ) -> None:
+        code = self.run_explain(
+            world,
+            "--kb",
+            f"carrier={world['carrier_kb']}",
+            "--kb",
+            f"factory={world['factory_kb']}",
+            "--backend",
+            "sqlite",
+            "--pushdown",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "push price <" in out
+        assert "project ['price']" in out
+        assert "backend carrier: sqlite" in out
+
 
 class TestKbSerialization:
     def test_round_trip(self, tmp_path: Path) -> None:
