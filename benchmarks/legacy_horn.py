@@ -1,0 +1,158 @@
+"""The pre-index Horn engine, preserved as the benchmark baseline.
+
+This is the scan-based evaluator the repository shipped before the
+inference subsystem was rebuilt: body atoms scan every fact of their
+predicate, each candidate match copies the whole binding dict, every
+round visits every clause at every body position, and any fact added
+after a fixpoint forces a full re-saturation.  ``bench_inference.py``
+joins it against the indexed/compiled engine for the indexed-vs-scan
+ablation; it is not part of the library.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.core.rules import HornClause
+from repro.errors import InferenceError
+from repro.inference.horn import Atom, is_ground, substitute, unify_atom
+
+
+class LegacyHornEngine:
+    """Forward chaining via per-predicate scans and dict-copy bindings."""
+
+    def __init__(self, *, strategy: str = "seminaive") -> None:
+        if strategy not in ("seminaive", "naive"):
+            raise InferenceError(f"unknown evaluation strategy {strategy!r}")
+        self.strategy = strategy
+        self._facts: set[Atom] = set()
+        self._by_predicate: dict[str, set[Atom]] = defaultdict(set)
+        self._clauses: list[HornClause] = []
+        self._saturated = False
+
+    def add_fact(self, atom: Atom) -> bool:
+        if not is_ground(atom):
+            raise InferenceError(f"facts must be ground: {atom!r}")
+        if atom in self._facts:
+            return False
+        self._facts.add(atom)
+        self._by_predicate[atom[0]].add(atom)
+        self._saturated = False
+        return True
+
+    def add_facts(self, atoms: Iterable[Atom]) -> int:
+        return sum(1 for atom in atoms if self.add_fact(atom))
+
+    def add_clause(self, clause: HornClause) -> None:
+        if not clause.body:
+            self.add_fact(clause.head)
+            return
+        self._clauses.append(clause)
+        self._saturated = False
+
+    def saturate(self, *, max_rounds: int | None = None) -> int:
+        if self.strategy == "seminaive":
+            derived_total = self._saturate_seminaive(max_rounds)
+        else:
+            derived_total = self._saturate_naive(max_rounds)
+        self._saturated = True
+        return derived_total
+
+    def _match_body(
+        self,
+        body: tuple[Atom, ...],
+        binding: dict[str, str],
+        index: int,
+        *,
+        required: tuple[int, set[Atom]] | None = None,
+    ) -> Iterator[dict[str, str]]:
+        if index == len(body):
+            yield dict(binding)
+            return
+        pattern = substitute(body[index], binding)
+        if required is not None and required[0] == index:
+            pool: Iterable[Atom] = required[1]
+        else:
+            pool = self._by_predicate.get(pattern[0], ())
+        for fact in pool:
+            extended = unify_atom(pattern, fact, binding)
+            if extended is None:
+                continue
+            yield from self._match_body(
+                body, extended, index + 1, required=required
+            )
+
+    def _fire(
+        self,
+        clause: HornClause,
+        *,
+        required: tuple[int, set[Atom]] | None = None,
+    ) -> list[Atom]:
+        new: list[Atom] = []
+        matches = list(
+            self._match_body(clause.body, {}, 0, required=required)
+        )
+        for binding in matches:
+            head = substitute(clause.head, binding)
+            if head not in self._facts:
+                new.append(head)
+                self._facts.add(head)
+                self._by_predicate[head[0]].add(head)
+        return new
+
+    def _saturate_naive(self, max_rounds: int | None) -> int:
+        derived_total = 0
+        rounds = 0
+        while True:
+            rounds += 1
+            new_this_round = 0
+            for clause in self._clauses:
+                new_this_round += len(self._fire(clause))
+            derived_total += new_this_round
+            if new_this_round == 0:
+                break
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+        return derived_total
+
+    def _saturate_seminaive(self, max_rounds: int | None) -> int:
+        delta: dict[str, set[Atom]] = {
+            pred: set(facts) for pred, facts in self._by_predicate.items()
+        }
+        derived_total = 0
+        rounds = 0
+        while delta:
+            rounds += 1
+            new_facts: list[Atom] = []
+            for clause in self._clauses:
+                for index, atom in enumerate(clause.body):
+                    pool = delta.get(atom[0])
+                    if not pool:
+                        continue
+                    new_facts.extend(
+                        self._fire(clause, required=(index, pool))
+                    )
+            derived_total += len(new_facts)
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            grouped: dict[str, set[Atom]] = defaultdict(set)
+            for fact in new_facts:
+                grouped[fact[0]].add(fact)
+            delta = {p: s for p, s in grouped.items() if s}
+        return derived_total
+
+    def holds(self, atom: Atom) -> bool:
+        if not self._saturated:
+            self.saturate()
+        return atom in self._facts
+
+    def facts(self, predicate: str | None = None) -> set[Atom]:
+        if not self._saturated:
+            self.saturate()
+        if predicate is None:
+            return set(self._facts)
+        return set(self._by_predicate.get(predicate, ()))
+
+    def __len__(self) -> int:
+        return len(self._facts)

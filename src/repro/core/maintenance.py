@@ -24,6 +24,14 @@ deterministic, so the repaired articulation equals the one that would
 be generated from scratch with the surviving rule set — but the
 *decision* of whether any work is needed at all costs only a set
 intersection, which is the paper's maintenance win.
+
+The maintainer also keeps one :class:`OntologyInferenceEngine` alive
+across passes for semantic checks (disjointness violations, §1's
+articulation errors): free changes leave it untouched, and after a
+repair it is *refreshed* — the engine diffs the repaired program
+against what it has loaded and pushes only new facts through the Horn
+evaluator's incremental delta propagation, falling back to a rebuild
+only when facts disappeared.
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ class MaintenanceReport:
     dropped_bridges: int = 0
     replayed_rules: int = 0
     repair_ops: int = 0
+    inference_mode: str = ""  # ""/"initial"/"incremental"/"rebuild"
 
     @property
     def required_work(self) -> bool:
@@ -73,6 +82,7 @@ class ArticulationMaintainer:
 
     def __init__(self, articulation: Articulation) -> None:
         self.articulation = articulation
+        self._engine = None  # lazily-built OntologyInferenceEngine
 
     # ------------------------------------------------------------------
     # classification (the cheap §5.3 decision)
@@ -138,9 +148,44 @@ class ArticulationMaintainer:
         report.free_terms = free
         report.affected_terms = affected
         if not affected:
-            return report
+            return report  # cached inference engine stays valid as-is
         self._repair(report)
         return report
+
+    # ------------------------------------------------------------------
+    # semantic checks over a reused incremental inference engine
+    # ------------------------------------------------------------------
+    def inference_engine(self):
+        """The maintainer's :class:`OntologyInferenceEngine` (cached).
+
+        Built on first use and *refreshed* — not rebuilt — after
+        repairs: additions flow through the Horn engine's incremental
+        delta propagation.
+        """
+        if self._engine is None:
+            from repro.inference.engine import OntologyInferenceEngine
+
+            self._engine = OntologyInferenceEngine.from_articulation(
+                self.articulation
+            )
+        return self._engine
+
+    def semantic_verify(self) -> list[str]:
+        """Inference-level invariants; empty list means consistent.
+
+        Reports every term implied into two declared-disjoint classes
+        — the articulation errors §1 promises to surface.  The cached
+        engine is refreshed first: *free* source changes skip repairs
+        but can still add graph edges the engine's program loads, and
+        additions are exactly the cheap incremental case.
+        """
+        engine = self.inference_engine()
+        engine.refresh_from_articulation(self.articulation)
+        return [
+            f"contradiction: {term!r} implied into disjoint "
+            f"{class_a!r} / {class_b!r}"
+            for term, class_a, class_b in engine.contradictions()
+        ]
 
     def _repair(self, report: MaintenanceReport) -> None:
         articulation = self.articulation
@@ -170,6 +215,12 @@ class ArticulationMaintainer:
         report.dropped_bridges = max(report.dropped_bridges, 0)
         report.replayed_rules = len(surviving)
         report.repair_ops = rebuilt.cost()
+
+        if self._engine is not None:
+            refresh = self._engine.refresh_from_articulation(
+                self.articulation
+            )
+            report.inference_mode = str(refresh["mode"])
 
     def verify(self) -> list[str]:
         """Post-repair invariants; empty list means consistent.

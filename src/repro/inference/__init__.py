@@ -4,7 +4,10 @@ from repro.inference.engine import DISJOINT, IMPLIES, OntologyInferenceEngine
 from repro.inference.goal import GoalDirectedEngine
 from repro.inference.horn import (
     Atom,
+    CompiledClause,
+    FactStore,
     HornEngine,
+    compile_clause,
     is_variable,
     substitute,
     unify_atom,
@@ -12,11 +15,14 @@ from repro.inference.horn import (
 
 __all__ = [
     "Atom",
+    "CompiledClause",
     "DISJOINT",
+    "FactStore",
     "GoalDirectedEngine",
     "HornEngine",
     "IMPLIES",
     "OntologyInferenceEngine",
+    "compile_clause",
     "is_variable",
     "substitute",
     "unify_atom",

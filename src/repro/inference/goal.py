@@ -19,6 +19,14 @@ a goal it:
 3. memoizes that slice, so later goals over the same predicate family
    are answered from the cache.
 
+Slices are cheap to build: base facts live in one master
+:class:`~repro.inference.horn.FactStore` whose argument-position
+indexes every slice shares through a copy-free overlay (the slice adds
+only its *derived* facts to a private layer), and compiled clause
+plans are shared process-wide through the compilation cache — so
+building a slice does no per-fact copying and no re-analysis of
+clauses.
+
 Because the slice is closed under the rules that can derive goal-
 predicate facts, the answers equal full saturation restricted to the
 goal predicate — the agreement property the test suite checks — while
@@ -33,7 +41,7 @@ from collections.abc import Iterable
 
 from repro.core.rules import HornClause
 from repro.errors import InferenceError
-from repro.inference.horn import Atom, HornEngine, is_ground, unify_atom
+from repro.inference.horn import Atom, FactStore, HornEngine, is_ground
 
 __all__ = ["GoalDirectedEngine"]
 
@@ -43,7 +51,7 @@ class GoalDirectedEngine:
 
     def __init__(self, *, strategy: str = "seminaive") -> None:
         self.strategy = strategy
-        self._facts_by_pred: dict[str, set[Atom]] = defaultdict(set)
+        self._store = FactStore()  # master base facts, indexes shared
         self._clauses: list[HornClause] = []
         # predicate -> predicates its derivation may depend on (direct)
         self._depends: dict[str, set[str]] = defaultdict(set)
@@ -57,10 +65,8 @@ class GoalDirectedEngine:
     def add_fact(self, atom: Atom) -> bool:
         if not is_ground(atom):
             raise InferenceError(f"facts must be ground: {atom!r}")
-        facts = self._facts_by_pred[atom[0]]
-        if atom in facts:
+        if not self._store.add(atom):
             return False
-        facts.add(atom)
         self._slices.clear()
         return True
 
@@ -100,12 +106,14 @@ class GoalDirectedEngine:
         cached = self._slices.get(relevant)
         if cached is not None:
             return cached
-        engine = HornEngine(strategy=self.strategy)
-        n_facts = 0
-        for predicate in relevant:
-            for fact in self._facts_by_pred.get(predicate, ()):
-                engine.add_fact(fact)
-                n_facts += 1
+        # The slice overlays the master store: base facts and their
+        # argument indexes are read in place, derived facts land in
+        # the slice's private layer.  Compiled clause plans come from
+        # the process-wide compilation cache.
+        engine = HornEngine(
+            strategy=self.strategy,
+            store=FactStore(base=self._store, visible=relevant),
+        )
         n_clauses = 0
         for clause in self._clauses:
             if clause.head[0] in relevant:
@@ -115,11 +123,11 @@ class GoalDirectedEngine:
         self._slices[relevant] = engine
         self.last_slice_stats = {
             "predicates": len(relevant),
-            "facts": n_facts,
-            "clauses": n_clauses,
-            "total_facts": sum(
-                len(f) for f in self._facts_by_pred.values()
+            "facts": sum(
+                self._store.pool_size(pred) for pred in relevant
             ),
+            "clauses": n_clauses,
+            "total_facts": len(self._store),
             "total_clauses": len(self._clauses),
         }
         return engine
@@ -141,12 +149,16 @@ class GoalDirectedEngine:
         """All derivable facts of one predicate (its slice's view)."""
         return self._slice_for(predicate).facts(predicate)
 
+    def iter_facts(self, predicate: str):
+        """Non-copying iterator over one predicate's derivable facts."""
+        return self._slice_for(predicate).iter_facts(predicate)
+
     def explain(self, atom: Atom) -> list[Atom]:
         """Base facts supporting a derivable atom (delegated)."""
         return self._slice_for(atom[0]).explain(atom)
 
     def fact_count(self) -> int:
-        return sum(len(facts) for facts in self._facts_by_pred.values())
+        return len(self._store)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -7,12 +7,44 @@ Clauses to represent articulation rules.  The modular design of the
 onion system implies that we can then plug in a much lighter (and
 faster) inference engine."
 
-This module is that lighter engine: a safe-datalog evaluator with
-ground facts, variables written ``?X``, predicate indexing, and both
-naive and semi-naive evaluation (the benchmark ablates the two).
-Derivations are recorded so every inferred fact can be explained back
-to the expert — §2.4 requires the expert to vet what the system
-concluded.
+This module is that lighter engine — rebuilt for speed around four
+ideas:
+
+* **Argument-position indexes** (:class:`FactStore`): facts are hashed
+  under ``(predicate, position, value)`` so a body atom with any bound
+  argument probes a hash bucket instead of scanning every fact of its
+  predicate.  A store can overlay a read-only *base* store, which lets
+  goal-directed slices share the master indexes without copying.
+* **Clause compilation** (:func:`compile_clause`): each
+  :class:`~repro.core.rules.HornClause` is analyzed once into join
+  plans.  Variables map to fixed integer slots, body atoms are
+  reordered by bound-variable connectivity, and every step knows
+  statically which positions are constants, already-bound variables,
+  or fresh bindings — so evaluation fills a preallocated slot array
+  instead of copying a binding dict per candidate fact.
+* **Stratified scheduling**: the predicate dependency graph is split
+  into SCC strata evaluated in topological order, and within a round
+  only the ``(clause, body-position)`` pairs whose predicate actually
+  appears in the delta are visited.
+* **Incremental (delta) saturation**: after a fixpoint,
+  :meth:`HornEngine.add_fact` / :meth:`HornEngine.add_clause` enqueue
+  deltas; the next query propagates only those deltas through the
+  strata instead of re-running saturation from scratch.  The result is
+  guaranteed (and property-tested) to equal from-scratch saturation.
+
+Semi-naive rounds follow the textbook *old/new* discipline: for a
+clause with body atoms ``b_1 .. b_n`` and round delta ``Δ ⊆ F``, the
+occurrence plan for position ``i`` joins ``b_i ∈ Δ``, ``b_j ∈ F`` for
+``j < i`` and ``b_j ∈ F \\ Δ`` for ``j > i`` — each join is enumerated
+exactly once even when the same delta predicate occurs at several body
+positions (the transitive-closure clause).  Rounds are snapshots for
+both strategies: facts derived in round ``r`` become joinable in round
+``r + 1``, which makes ``saturate(max_rounds=k)`` produce identical
+fact sets under ``naive`` and ``seminaive``.
+
+Derivations are recorded (optionally — disable for a faster
+no-``explain`` mode) so every inferred fact can be explained back to
+the expert; §2.4 requires the expert to vet what the system concluded.
 """
 
 from __future__ import annotations
@@ -24,7 +56,16 @@ from dataclasses import dataclass
 from repro.core.rules import HornClause
 from repro.errors import InferenceError
 
-__all__ = ["Atom", "HornEngine", "is_variable", "substitute", "unify_atom"]
+__all__ = [
+    "Atom",
+    "CompiledClause",
+    "FactStore",
+    "HornEngine",
+    "compile_clause",
+    "is_variable",
+    "substitute",
+    "unify_atom",
+]
 
 Atom = tuple[str, ...]
 """A predicate application ``(predicate, arg1, ..., argN)``."""
@@ -90,31 +131,473 @@ class Derivation:
     premises: tuple[Atom, ...]
 
 
-class HornEngine:
-    """Forward-chaining evaluation of Horn clauses over ground facts."""
+# ----------------------------------------------------------------------
+# fact storage: argument-position hash indexes, sharable via overlays
+# ----------------------------------------------------------------------
+class FactStore:
+    """Ground facts indexed by ``(predicate, position, value)``.
 
-    def __init__(self, *, strategy: str = "seminaive") -> None:
+    ``base`` makes this store a copy-free overlay: reads consult the
+    base store (restricted to ``visible`` predicates) plus the local
+    facts, writes land locally.  Goal-directed slices use this to share
+    the master store's indexes while keeping their derived facts
+    private.  The base store must not shrink while overlays exist.
+    """
+
+    __slots__ = ("_base", "_visible", "_facts", "_by_pred", "_index")
+
+    def __init__(
+        self,
+        *,
+        base: "FactStore | None" = None,
+        visible: frozenset[str] | None = None,
+    ) -> None:
+        self._base = base
+        self._visible = visible
+        self._facts: set[Atom] = set()
+        self._by_pred: dict[str, list[Atom]] = {}
+        self._index: dict[tuple[str, int, str], list[Atom]] = {}
+
+    def _sees(self, predicate: str) -> bool:
+        return self._base is not None and (
+            self._visible is None or predicate in self._visible
+        )
+
+    def __contains__(self, atom: Atom) -> bool:
+        if atom in self._facts:
+            return True
+        return self._sees(atom[0]) and atom in self._base
+
+    def __len__(self) -> int:
+        total = len(self._facts)
+        if self._base is not None:
+            if self._visible is None:
+                total += len(self._base)
+            else:
+                total += sum(
+                    self._base.pool_size(p) for p in self._visible
+                )
+        return total
+
+    def add(self, atom: Atom) -> bool:
+        """Insert a ground fact; False if already present (or visible)."""
+        if atom in self:
+            return False
+        self._facts.add(atom)
+        predicate = atom[0]
+        pool = self._by_pred.get(predicate)
+        if pool is None:
+            pool = self._by_pred[predicate] = []
+        pool.append(atom)
+        index = self._index
+        for position in range(1, len(atom)):
+            key = (predicate, position, atom[position])
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [atom]
+            else:
+                bucket.append(atom)
+        return True
+
+    def pool(self, predicate: str) -> Iterator[Atom]:
+        """All facts of one predicate (base first, then local)."""
+        if self._sees(predicate):
+            yield from self._base.pool(predicate)
+        yield from self._by_pred.get(predicate, ())
+
+    def pool_size(self, predicate: str) -> int:
+        size = len(self._by_pred.get(predicate, ()))
+        if self._sees(predicate):
+            size += self._base.pool_size(predicate)
+        return size
+
+    def probe(self, predicate: str, position: int, value: str) -> Iterator[Atom]:
+        """Facts with ``value`` at ``position`` — one index bucket."""
+        if self._sees(predicate):
+            yield from self._base.probe(predicate, position, value)
+        yield from self._index.get((predicate, position, value), ())
+
+    def probe_size(self, predicate: str, position: int, value: str) -> int:
+        size = len(self._index.get((predicate, position, value), ()))
+        if self._sees(predicate):
+            size += self._base.probe_size(predicate, position, value)
+        return size
+
+    def predicates(self) -> set[str]:
+        preds = set(self._by_pred)
+        if self._base is not None:
+            base_preds = self._base.predicates()
+            if self._visible is not None:
+                base_preds &= self._visible
+            preds |= base_preds
+        return preds
+
+    def iter_facts(self, predicate: str | None = None) -> Iterator[Atom]:
+        if predicate is not None:
+            yield from self.pool(predicate)
+            return
+        if self._base is not None:
+            if self._visible is None:
+                yield from self._base.iter_facts()
+            else:
+                for pred in self._visible:
+                    yield from self._base.pool(pred)
+        yield from self._facts
+
+
+# ----------------------------------------------------------------------
+# clause compilation: slot-mapped, reordered join plans
+# ----------------------------------------------------------------------
+_POOL_ALL = 0
+_POOL_DELTA = 1
+_POOL_OLD = 2
+
+
+@dataclass(frozen=True, slots=True)
+class _Step:
+    """One body atom in a join plan, fully analyzed at compile time."""
+
+    pred: str
+    arity: int  # full tuple length, predicate included
+    orig: int  # position in the clause body (for old/new pools)
+    pool: int  # _POOL_ALL / _POOL_DELTA / _POOL_OLD
+    const_checks: tuple[tuple[int, str], ...]  # (position, constant)
+    bound_checks: tuple[tuple[int, int], ...]  # (position, slot)
+    same_checks: tuple[tuple[int, int], ...]  # (position, earlier position)
+    binds: tuple[tuple[int, int], ...]  # (position, slot)
+
+
+@dataclass(frozen=True, slots=True)
+class _JoinPlan:
+    steps: tuple[_Step, ...]
+    delta_pred: str | None  # predicate of the delta step (None = full plan)
+    body_order: tuple[int, ...]  # step index -> rank in original body order
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledClause:
+    """A clause analyzed into slot assignments and join plans.
+
+    ``full_plan`` joins every body atom against the whole store (naive
+    rounds, round-0 of a fresh stratum, new-clause catch-up).
+    ``delta_plans`` has one plan per body position for semi-naive
+    rounds; plan ``i`` reads position ``i`` from the delta, positions
+    before it from the full store and positions after it from
+    store-minus-delta, so each join is enumerated exactly once per
+    round.
+    """
+
+    clause: HornClause
+    head_pred: str
+    head_parts: tuple[object, ...]  # str constant or int slot, per head arg
+    nslots: int
+    body_preds: frozenset[str]
+    full_plan: _JoinPlan
+    delta_plans: tuple[_JoinPlan, ...]
+
+
+def _analyze_atom(
+    atom: Atom,
+    orig: int,
+    pool: int,
+    slot_of: dict[str, int],
+    bound_vars: set[str],
+) -> _Step:
+    const_checks: list[tuple[int, str]] = []
+    bound_checks: list[tuple[int, int]] = []
+    same_checks: list[tuple[int, int]] = []
+    binds: list[tuple[int, int]] = []
+    first_pos: dict[str, int] = {}
+    for position in range(1, len(atom)):
+        arg = atom[position]
+        if not is_variable(arg):
+            const_checks.append((position, arg))
+        elif arg in bound_vars:
+            bound_checks.append((position, slot_of[arg]))
+        elif arg in first_pos:
+            same_checks.append((position, first_pos[arg]))
+        else:
+            first_pos[arg] = position
+            binds.append((position, slot_of[arg]))
+    return _Step(
+        atom[0],
+        len(atom),
+        orig,
+        pool,
+        tuple(const_checks),
+        tuple(bound_checks),
+        tuple(same_checks),
+        tuple(binds),
+    )
+
+
+def _atom_vars(atom: Atom) -> set[str]:
+    return {arg for arg in atom[1:] if is_variable(arg)}
+
+
+def _order_atoms(
+    body: tuple[Atom, ...], first: int | None
+) -> list[int]:
+    """Greedy join order: most-bound, most-selective atom next.
+
+    ``first`` pins the delta atom to the front (it is the small set).
+    Ties fall back to the original body order, which keeps plans
+    deterministic.
+    """
+    remaining = [i for i in range(len(body)) if i != first]
+    ordered = [] if first is None else [first]
+    bound: set[str] = set() if first is None else _atom_vars(body[first])
+    while remaining:
+        def score(i: int) -> tuple[int, int, int]:
+            atom = body[i]
+            variables = _atom_vars(atom)
+            n_bound = len(variables & bound)
+            n_const = sum(
+                1 for arg in atom[1:] if not is_variable(arg)
+            )
+            n_free = len(variables - bound)
+            # maximize bound connections and constants, minimize frees
+            return (-(n_bound + n_const), n_free, i)
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= _atom_vars(body[best])
+    return ordered
+
+
+def _build_plan(
+    clause: HornClause,
+    slot_of: dict[str, int],
+    delta_index: int | None,
+) -> _JoinPlan:
+    order = _order_atoms(clause.body, delta_index)
+    steps: list[_Step] = []
+    bound: set[str] = set()
+    for atom_index in order:
+        atom = clause.body[atom_index]
+        if delta_index is None:
+            pool = _POOL_ALL
+        elif atom_index == delta_index:
+            pool = _POOL_DELTA
+        elif atom_index < delta_index:
+            pool = _POOL_ALL
+        else:
+            pool = _POOL_OLD
+        steps.append(
+            _analyze_atom(atom, atom_index, pool, slot_of, bound)
+        )
+        bound |= _atom_vars(atom)
+    # ``order`` is a permutation of range(len(body)), so each step's
+    # rank in body order is its body index itself.
+    body_order = tuple(order)
+    delta_pred = (
+        clause.body[delta_index][0] if delta_index is not None else None
+    )
+    return _JoinPlan(tuple(steps), delta_pred, body_order)
+
+
+_COMPILE_CACHE: dict[HornClause, CompiledClause] = {}
+
+
+def compile_clause(clause: HornClause) -> CompiledClause:
+    """Analyze a clause into join plans (cached and shared globally).
+
+    The cache is keyed on the (frozen, hashable) clause, so every
+    engine and every goal-directed slice using the same clause shares
+    one compiled form.  Programs hold a handful of axiom clauses, so
+    the cache is unbounded.
+    """
+    cached = _COMPILE_CACHE.get(clause)
+    if cached is not None:
+        return cached
+    _check_safe(clause)
+    slot_of: dict[str, int] = {}
+    for atom in clause.body:
+        for arg in atom[1:]:
+            if is_variable(arg) and arg not in slot_of:
+                slot_of[arg] = len(slot_of)
+    head_parts: list[object] = []
+    for arg in clause.head[1:]:
+        head_parts.append(slot_of[arg] if is_variable(arg) else arg)
+    compiled = CompiledClause(
+        clause=clause,
+        head_pred=clause.head[0],
+        head_parts=tuple(head_parts),
+        nslots=len(slot_of),
+        body_preds=frozenset(atom[0] for atom in clause.body),
+        full_plan=_build_plan(clause, slot_of, None),
+        delta_plans=tuple(
+            _build_plan(clause, slot_of, i)
+            for i in range(len(clause.body))
+        ),
+    )
+    _COMPILE_CACHE[clause] = compiled
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# stratification: SCC strata of the predicate dependency graph
+# ----------------------------------------------------------------------
+def _stratify(compiled: list[CompiledClause]) -> list[list[CompiledClause]]:
+    """Group clauses into SCC strata, dependencies first.
+
+    Nodes are predicates; an edge ``head -> body-pred`` records that
+    deriving the head needs the body predicate.  Tarjan emits SCCs
+    children-first, which for this edge direction is exactly the
+    evaluation order: a stratum only runs once everything it reads
+    from is complete (mutually recursive predicates share a stratum).
+    """
+    edges: dict[str, list[str]] = defaultdict(list)
+    nodes: set[str] = set()
+    for cc in compiled:
+        nodes.add(cc.head_pred)
+        for pred in cc.body_preds:
+            nodes.add(pred)
+            edges[cc.head_pred].append(pred)
+
+    scc_of: dict[str, int] = {}
+    order: list[list[str]] = []
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    for root in sorted(nodes):
+        if root in index_of:
+            continue
+        # iterative Tarjan: (node, iterator over successors)
+        work = [(root, iter(edges.get(root, ())))]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                for member in component:
+                    scc_of[member] = len(order)
+                order.append(component)
+
+    strata: list[list[CompiledClause]] = [[] for _ in order]
+    for cc in compiled:
+        strata[scc_of[cc.head_pred]].append(cc)
+    return [stratum for stratum in strata if stratum]
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def _new_stats(mode: str) -> dict[str, int | str]:
+    return {
+        "mode": mode,
+        "rounds": 0,
+        "strata": 0,
+        "activations": 0,  # delta-plan runs scheduled
+        "index_probes": 0,
+        "candidates": 0,
+        "derived": 0,
+    }
+
+
+class HornEngine:
+    """Forward-chaining evaluation of Horn clauses over ground facts.
+
+    ``strategy`` picks ``seminaive`` (delta) or ``naive`` (full
+    re-join) rounds; ``scheduling`` picks ``stratified`` (SCC strata
+    in topological order) or ``flat`` (all clauses every round) and
+    only affects the semi-naive strategy — naive evaluation is
+    inherently flat, so the knob is inert there.
+    ``record_derivations=False`` skips provenance bookkeeping for a
+    faster engine whose :meth:`explain` raises.  ``store`` lets a
+    caller supply a (possibly overlay) :class:`FactStore`.
+    """
+
+    def __init__(
+        self,
+        *,
+        strategy: str = "seminaive",
+        scheduling: str = "stratified",
+        record_derivations: bool = True,
+        store: FactStore | None = None,
+    ) -> None:
         if strategy not in ("seminaive", "naive"):
             raise InferenceError(f"unknown evaluation strategy {strategy!r}")
+        if scheduling not in ("stratified", "flat"):
+            raise InferenceError(f"unknown scheduling {scheduling!r}")
         self.strategy = strategy
-        self._facts: set[Atom] = set()
-        self._by_predicate: dict[str, set[Atom]] = defaultdict(set)
+        self.scheduling = scheduling
+        self.record_derivations = record_derivations
+        self._store = store if store is not None else FactStore()
         self._clauses: list[HornClause] = []
+        self._clause_set: set[HornClause] = set()
+        self._compiled: list[CompiledClause] = []
         self._derivations: dict[Atom, Derivation] = {}
         self._saturated = False
+        self._pending_facts: list[Atom] = []
+        self._pending_clauses: list[CompiledClause] = []
+        self._strata: list[list[CompiledClause]] | None = None
+        self.last_stats: dict[str, int | str] = _new_stats("idle")
 
     # ------------------------------------------------------------------
     # program construction
     # ------------------------------------------------------------------
+    @property
+    def _facts(self) -> set[Atom]:
+        """The full fact set (compat accessor for pre-rewrite callers).
+
+        On overlay-backed engines this copies base + local facts so
+        the view matches what the old attribute held; plain engines
+        return their store's set directly.
+        """
+        if self._store._base is not None:
+            return set(self._store.iter_facts())
+        return self._store._facts
+
+    @property
+    def store(self) -> FactStore:
+        return self._store
+
     def add_fact(self, atom: Atom) -> bool:
-        """Add a ground fact; returns False if it was already known."""
+        """Add a ground fact; returns False if it was already known.
+
+        After a fixpoint, new facts are queued as deltas: the next
+        query propagates just them instead of re-saturating.
+        """
         if not is_ground(atom):
             raise InferenceError(f"facts must be ground: {atom!r}")
-        if atom in self._facts:
+        if not self._store.add(atom):
             return False
-        self._facts.add(atom)
-        self._by_predicate[atom[0]].add(atom)
-        self._saturated = False
+        if self._saturated:
+            if self.strategy == "seminaive":
+                self._pending_facts.append(atom)
+            else:
+                self._saturated = False
         return True
 
     def add_facts(self, atoms: Iterable[Atom]) -> int:
@@ -125,164 +608,419 @@ class HornEngine:
             # A bodiless clause is just a fact.
             self.add_fact(clause.head)
             return
-        _check_safe(clause)
+        compiled = compile_clause(clause)  # raises on unsafe clauses
+        if clause in self._clause_set:
+            return  # duplicate clauses only repeat work
+        self._clause_set.add(clause)
         self._clauses.append(clause)
-        self._saturated = False
+        self._compiled.append(compiled)
+        self._strata = None
+        if self._saturated:
+            if self.strategy == "seminaive":
+                self._pending_clauses.append(compiled)
+            else:
+                self._saturated = False
 
     def add_clauses(self, clauses: Iterable[HornClause]) -> None:
         for clause in clauses:
             self.add_clause(clause)
 
     # ------------------------------------------------------------------
+    # join-plan runtime
+    # ------------------------------------------------------------------
+    def _candidates(
+        self,
+        step: _Step,
+        delta: Mapping[str, set[Atom]] | None,
+        slots: list,
+    ) -> Iterable[Atom]:
+        """The fact pool one step scans, via the cheapest index probe."""
+        if step.pool == _POOL_DELTA:
+            return delta.get(step.pred, ())
+        store = self._store
+        stats = self.last_stats
+        best_key: tuple[int, str] | None = None
+        best_size = -1
+        for position, value in step.const_checks:
+            size = store.probe_size(step.pred, position, value)
+            if best_size < 0 or size < best_size:
+                best_size, best_key = size, (position, value)
+        for position, slot in step.bound_checks:
+            value = slots[slot]
+            size = store.probe_size(step.pred, position, value)
+            if best_size < 0 or size < best_size:
+                best_size, best_key = size, (position, value)
+        if best_key is None:
+            candidates: Iterable[Atom] = store.pool(step.pred)
+        else:
+            stats["index_probes"] += 1
+            candidates = store.probe(step.pred, best_key[0], best_key[1])
+        if step.pool == _POOL_OLD and delta:
+            delta_set = delta.get(step.pred)
+            if delta_set:
+                return (f for f in candidates if f not in delta_set)
+        return candidates
+
+    def _run_plan(
+        self,
+        cc: CompiledClause,
+        plan: _JoinPlan,
+        delta: Mapping[str, set[Atom]] | None,
+    ) -> Iterator[tuple[Atom, tuple[Atom, ...] | None]]:
+        """Yield ``(head, premises-in-body-order)`` for every join."""
+        steps = plan.steps
+        n_steps = len(steps)
+        slots: list = [None] * cc.nslots
+        premises: list = [None] * n_steps
+        record = self.record_derivations
+        stats = self.last_stats
+        head_pred = cc.head_pred
+        head_parts = cc.head_parts
+        body_order = plan.body_order
+
+        def recurse(i: int) -> Iterator[tuple[Atom, tuple[Atom, ...] | None]]:
+            if i == n_steps:
+                head = (head_pred,) + tuple(
+                    slots[part] if part.__class__ is int else part
+                    for part in head_parts
+                )
+                if record:
+                    ordered = [None] * n_steps
+                    for step_index in range(n_steps):
+                        ordered[body_order[step_index]] = premises[step_index]
+                    yield head, tuple(ordered)
+                else:
+                    yield head, None
+                return
+            step = steps[i]
+            arity = step.arity
+            const_checks = step.const_checks
+            bound_checks = step.bound_checks
+            same_checks = step.same_checks
+            binds = step.binds
+            examined = 0
+            for fact in self._candidates(step, delta, slots):
+                examined += 1
+                if len(fact) != arity:
+                    continue
+                ok = True
+                for position, value in const_checks:
+                    if fact[position] != value:
+                        ok = False
+                        break
+                if ok:
+                    for position, slot in bound_checks:
+                        if fact[position] != slots[slot]:
+                            ok = False
+                            break
+                if ok:
+                    for position, earlier in same_checks:
+                        if fact[position] != fact[earlier]:
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                for position, slot in binds:
+                    slots[slot] = fact[position]
+                premises[i] = fact
+                yield from recurse(i + 1)
+            stats["candidates"] += examined
+
+        yield from recurse(0)
+
+    # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
-    def saturate(self, *, max_rounds: int | None = None) -> int:
-        """Run forward chaining to fixpoint; return new facts derived.
+    def _schedule(self) -> list[list[CompiledClause]]:
+        if self._strata is None:
+            if self.scheduling == "stratified":
+                self._strata = _stratify(self._compiled)
+            else:
+                self._strata = [list(self._compiled)] if self._compiled else []
+        return self._strata
 
-        ``max_rounds`` bounds the number of iterations (None = until
-        fixpoint); datalog saturation always terminates because the
-        Herbrand base over the finite constants is finite.
-        """
-        derived_total = 0
-        if self.strategy == "seminaive":
-            derived_total = self._saturate_seminaive(max_rounds)
-        else:
-            derived_total = self._saturate_naive(max_rounds)
-        self._saturated = True
-        return derived_total
-
-    def _match_body(
+    def _record_new(
         self,
-        body: tuple[Atom, ...],
-        binding: dict[str, str],
-        index: int,
-        *,
-        required: tuple[int, set[Atom]] | None = None,
-    ) -> Iterator[tuple[dict[str, str], tuple[Atom, ...]]]:
-        """Enumerate bindings satisfying ``body[index:]``.
+        cc: CompiledClause,
+        head: Atom,
+        premises: tuple[Atom, ...] | None,
+    ) -> None:
+        if self.record_derivations and head not in self._derivations:
+            self._derivations[head] = Derivation(cc.clause, premises)
 
-        ``required`` pins one body position to a restricted fact set —
-        the semi-naive delta.  Yields ``(binding, premises)`` pairs.
-        """
-        if index == len(body):
-            yield dict(binding), ()
-            return
-        pattern = substitute(body[index], binding)
-        if required is not None and required[0] == index:
-            pool: Iterable[Atom] = required[1]
-        else:
-            pool = self._by_predicate.get(pattern[0], ())
-        for fact in pool:
-            extended = unify_atom(pattern, fact, binding)
-            if extended is None:
-                continue
-            for final, rest in self._match_body(
-                body, extended, index + 1, required=required
-            ):
-                yield final, (fact,) + rest
-
-    def _fire(
+    def _eval_stratum(
         self,
-        clause: HornClause,
-        *,
-        required: tuple[int, set[Atom]] | None = None,
-    ) -> list[Atom]:
-        """All new head facts derivable from one clause right now."""
-        new: list[Atom] = []
-        # Materialize matches before inserting: insertion mutates the
-        # per-predicate fact sets the body matcher is iterating over.
-        matches = list(
-            self._match_body(clause.body, {}, 0, required=required)
+        stratum: list[CompiledClause],
+        delta0: dict[str, set[Atom]],
+        max_rounds: int | None = None,
+    ) -> tuple[list[Atom], bool]:
+        """Semi-naive rounds over one stratum; returns (new facts, at
+        fixpoint).  Only (clause, position) pairs whose predicate is in
+        the round's delta are visited; facts derived in a round join in
+        the next one (snapshot semantics)."""
+        store = self._store
+        stats = self.last_stats
+        schedule: dict[str, list[tuple[CompiledClause, _JoinPlan]]] = {}
+        for cc in stratum:
+            for plan in cc.delta_plans:
+                schedule.setdefault(plan.delta_pred, []).append((cc, plan))
+        delta = {
+            pred: facts
+            for pred, facts in delta0.items()
+            if facts and pred in schedule
+        }
+        all_new: list[Atom] = []
+        rounds = 0
+        while delta:
+            rounds += 1
+            stats["rounds"] += 1
+            round_new: list[Atom] = []
+            round_set: set[Atom] = set()
+            for pred in delta:
+                for cc, plan in schedule[pred]:
+                    stats["activations"] += 1
+                    for head, premises in self._run_plan(cc, plan, delta):
+                        if head in round_set or head in store:
+                            continue
+                        round_set.add(head)
+                        round_new.append(head)
+                        self._record_new(cc, head, premises)
+            for fact in round_new:
+                store.add(fact)
+            all_new.extend(round_new)
+            if not round_new:
+                return all_new, True
+            if max_rounds is not None and rounds >= max_rounds:
+                return all_new, False
+            next_delta: dict[str, set[Atom]] = {}
+            for fact in round_new:
+                if fact[0] in schedule:
+                    next_delta.setdefault(fact[0], set()).add(fact)
+            delta = next_delta
+        return all_new, True
+
+    def _initial_delta(
+        self, stratum: list[CompiledClause]
+    ) -> dict[str, set[Atom]]:
+        body_preds: set[str] = set()
+        for cc in stratum:
+            body_preds |= cc.body_preds
+        return {
+            pred: set(self._store.pool(pred))
+            for pred in body_preds
+            if self._store.pool_size(pred)
+        }
+
+    def _saturate_seminaive(self, max_rounds: int | None) -> tuple[int, bool]:
+        derived = 0
+        at_fixpoint = True
+        strata = (
+            self._schedule()
+            if max_rounds is None
+            # bounded runs use flat scheduling so "a round" means the
+            # same thing under both strategies (see saturate()).
+            else ([list(self._compiled)] if self._compiled else [])
         )
-        for binding, premises in matches:
-            head = substitute(clause.head, binding)
-            if head not in self._facts:
-                new.append(head)
-                self._facts.add(head)
-                self._by_predicate[head[0]].add(head)
-                self._derivations.setdefault(
-                    head, Derivation(clause, premises)
-                )
-        return new
+        self.last_stats["strata"] = len(strata)
+        for stratum in strata:
+            new, fixed = self._eval_stratum(
+                stratum, self._initial_delta(stratum), max_rounds
+            )
+            derived += len(new)
+            at_fixpoint = at_fixpoint and fixed
+        return derived, at_fixpoint
 
-    def _saturate_naive(self, max_rounds: int | None) -> int:
+    def _saturate_naive(self, max_rounds: int | None) -> tuple[int, bool]:
+        store = self._store
+        stats = self.last_stats
+        stats["strata"] = 1 if self._compiled else 0  # naive is flat
         derived_total = 0
         rounds = 0
         while True:
             rounds += 1
-            new_this_round = 0
-            for clause in self._clauses:
-                new_this_round += len(self._fire(clause))
-            derived_total += new_this_round
-            if new_this_round == 0:
-                break
-            if max_rounds is not None and rounds >= max_rounds:
-                break
-        return derived_total
-
-    def _saturate_seminaive(self, max_rounds: int | None) -> int:
-        # Round 0 treats every existing fact as the delta.
-        delta: dict[str, set[Atom]] = {
-            pred: set(facts) for pred, facts in self._by_predicate.items()
-        }
-        derived_total = 0
-        rounds = 0
-        while delta:
-            rounds += 1
-            new_facts: list[Atom] = []
-            for clause in self._clauses:
-                for index, atom in enumerate(clause.body):
-                    pool = delta.get(atom[0])
-                    if not pool:
+            stats["rounds"] += 1
+            round_new: list[Atom] = []
+            round_set: set[Atom] = set()
+            for cc in self._compiled:
+                stats["activations"] += 1
+                for head, premises in self._run_plan(cc, cc.full_plan, None):
+                    if head in round_set or head in store:
                         continue
-                    new_facts.extend(
-                        self._fire(clause, required=(index, pool))
-                    )
-            derived_total += len(new_facts)
+                    round_set.add(head)
+                    round_new.append(head)
+                    self._record_new(cc, head, premises)
+            for fact in round_new:
+                store.add(fact)
+            derived_total += len(round_new)
+            if not round_new:
+                return derived_total, True
             if max_rounds is not None and rounds >= max_rounds:
-                break
-            delta = defaultdict(set)
-            for fact in new_facts:
-                delta[fact[0]].add(fact)
-            delta = {p: s for p, s in delta.items() if s}
-        return derived_total
+                return derived_total, False
+
+    def _propagate_pending(self) -> int:
+        """Incremental saturation: push only the queued deltas.
+
+        Queued clauses first run their full plan once (they have never
+        seen the database); their conclusions join the queued facts,
+        and the combined delta flows through the strata in topological
+        order.  Equivalent to — and property-tested against — a
+        from-scratch saturation."""
+        store = self._store
+        seeds = self._pending_facts
+        new_clauses = self._pending_clauses
+        self._pending_facts = []
+        self._pending_clauses = []
+        derived = 0
+        for cc in new_clauses:
+            # Materialize before inserting: adding heads would mutate
+            # the pool/index lists the join is iterating over.
+            matches = list(self._run_plan(cc, cc.full_plan, None))
+            for head, premises in matches:
+                if head in store:
+                    continue
+                store.add(head)
+                self._record_new(cc, head, premises)
+                seeds.append(head)
+                derived += 1
+        by_pred: dict[str, set[Atom]] = {}
+        for fact in seeds:
+            by_pred.setdefault(fact[0], set()).add(fact)
+        strata = self._schedule()
+        self.last_stats["strata"] = len(strata)
+        for stratum in strata:
+            body_preds: set[str] = set()
+            for cc in stratum:
+                body_preds |= cc.body_preds
+            delta0 = {
+                pred: by_pred[pred] for pred in body_preds if pred in by_pred
+            }
+            if not delta0:
+                continue
+            new, _ = self._eval_stratum(stratum, delta0)
+            derived += len(new)
+            for fact in new:
+                by_pred.setdefault(fact[0], set()).add(fact)
+        return derived
+
+    def saturate(self, *, max_rounds: int | None = None) -> int:
+        """Run forward chaining; return the number of new facts.
+
+        Unbounded (``max_rounds=None``) runs reach the fixpoint —
+        incrementally when only queued deltas are outstanding.
+        Bounded runs evaluate ``max_rounds`` flat snapshot rounds
+        (facts derived in round *r* join in round *r + 1*), which makes
+        the result identical under ``naive`` and ``seminaive``; the
+        engine stays unsaturated unless the bound happened to reach
+        the fixpoint.  Datalog saturation always terminates because
+        the Herbrand base over the finite constants is finite.
+        """
+        if max_rounds is not None:
+            self.last_stats = _new_stats("bounded")
+            # Queued deltas fold into the bounded run's round-0 delta.
+            self._pending_facts = []
+            self._pending_clauses = []
+            if self.strategy == "seminaive":
+                derived, at_fixpoint = self._saturate_seminaive(max_rounds)
+            else:
+                derived, at_fixpoint = self._saturate_naive(max_rounds)
+            self._saturated = at_fixpoint
+            self.last_stats["derived"] = derived
+            return derived
+        if self._saturated:
+            if not self._pending_facts and not self._pending_clauses:
+                return 0
+            self.last_stats = _new_stats("incremental")
+            derived = self._propagate_pending()
+        else:
+            self.last_stats = _new_stats("full")
+            self._pending_facts = []
+            self._pending_clauses = []
+            if self.strategy == "seminaive":
+                derived, _ = self._saturate_seminaive(None)
+            else:
+                derived, _ = self._saturate_naive(None)
+        self._saturated = True
+        self.last_stats["derived"] = derived
+        return derived
+
+    def _ensure_current(self) -> None:
+        if (
+            not self._saturated
+            or self._pending_facts
+            or self._pending_clauses
+        ):
+            self.saturate()
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def holds(self, atom: Atom) -> bool:
         """Is this ground atom derivable?  Saturates lazily."""
-        if not self._saturated:
-            self.saturate()
-        return atom in self._facts
+        self._ensure_current()
+        return atom in self._store
 
     def query(self, pattern: Atom) -> list[dict[str, str]]:
-        """All bindings of a (possibly non-ground) atom."""
-        if not self._saturated:
-            self.saturate()
+        """All bindings of a (possibly non-ground) atom.
+
+        Ground argument positions probe the argument index; the most
+        selective bucket is scanned.
+        """
+        self._ensure_current()
+        predicate = pattern[0]
+        store = self._store
+        bound = [
+            (position, arg)
+            for position, arg in enumerate(pattern)
+            if position and not is_variable(arg)
+        ]
+        if bound:
+            position, value = min(
+                bound,
+                key=lambda pv: store.probe_size(predicate, pv[0], pv[1]),
+            )
+            pool: Iterable[Atom] = store.probe(predicate, position, value)
+        else:
+            pool = store.pool(predicate)
         results: list[dict[str, str]] = []
-        for fact in self._by_predicate.get(pattern[0], ()):
+        for fact in pool:
             binding = unify_atom(pattern, fact)
             if binding is not None:
                 results.append(binding)
         return results
 
     def facts(self, predicate: str | None = None) -> set[Atom]:
-        if not self._saturated:
-            self.saturate()
+        """A fresh set of (all or one predicate's) derivable facts.
+
+        Copies; use :meth:`iter_facts` / :meth:`fact_count` on hot
+        paths.
+        """
+        self._ensure_current()
+        return set(self._store.iter_facts(predicate))
+
+    def iter_facts(self, predicate: str | None = None) -> Iterator[Atom]:
+        """Iterate derivable facts without copying the fact set."""
+        self._ensure_current()
+        return self._store.iter_facts(predicate)
+
+    def fact_count(self, predicate: str | None = None) -> int:
+        self._ensure_current()
         if predicate is None:
-            return set(self._facts)
-        return set(self._by_predicate.get(predicate, ()))
+            return len(self._store)
+        return self._store.pool_size(predicate)
 
     def explain(self, atom: Atom) -> list[Atom]:
         """The base facts supporting ``atom`` (transitive premises).
 
         Base facts explain themselves as a singleton list.  Unknown
-        atoms raise :class:`InferenceError`.
+        atoms raise :class:`InferenceError`, as does an engine built
+        with ``record_derivations=False``.
         """
-        if not self._saturated:
-            self.saturate()
-        if atom not in self._facts:
+        if not self.record_derivations:
+            raise InferenceError(
+                "derivation recording is disabled on this engine"
+            )
+        self._ensure_current()
+        if atom not in self._store:
             raise InferenceError(f"fact does not hold: {atom!r}")
         base: list[Atom] = []
         seen: set[Atom] = set()
@@ -300,10 +1038,11 @@ class HornEngine:
         return base
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._store)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"<HornEngine facts={len(self._facts)} "
-            f"clauses={len(self._clauses)} strategy={self.strategy}>"
+            f"<HornEngine facts={len(self._store)} "
+            f"clauses={len(self._clauses)} strategy={self.strategy} "
+            f"scheduling={self.scheduling}>"
         )

@@ -350,10 +350,20 @@ def articulate_with_expert(
     volunteered.extend(expert.extra_rules())
     generator.extend(articulation, volunteered)
 
+    # One inference engine lives across rounds: each round feeds only
+    # the newly accepted rules' facts through incremental (delta)
+    # saturation instead of rebuilding and re-saturating from scratch.
+    # Suggestions never need explain(), so derivation recording is off.
+    engine: OntologyInferenceEngine | None = None
     for _ in range(max_rounds):
         candidates = skat.propose(o1, o2, exclude=list(articulation.rules))
         if use_inference and len(articulation.rules):
-            engine = OntologyInferenceEngine.from_articulation(articulation)
+            if engine is None:
+                engine = OntologyInferenceEngine.from_articulation(
+                    articulation, record_derivations=False
+                )
+            else:
+                engine.refresh_from_articulation(articulation)
             for derived in engine.derived_rules():
                 if derived not in articulation.rules:
                     candidates.append(

@@ -139,3 +139,66 @@ class TestUnderChurn:
         issues = maintainer.verify()
         assert any("dangling bridge" in issue for issue in issues)
         assert any("stale rule" in issue for issue in issues)
+
+
+class TestSemanticChecks:
+    def test_semantic_verify_clean_articulation(
+        self, maintainer: ArticulationMaintainer
+    ) -> None:
+        assert maintainer.semantic_verify() == []
+
+    def test_inference_engine_is_cached(
+        self, maintainer: ArticulationMaintainer
+    ) -> None:
+        assert maintainer.inference_engine() is maintainer.inference_engine()
+
+    def test_semantic_verify_reports_contradictions(
+        self, maintainer: ArticulationMaintainer
+    ) -> None:
+        engine = maintainer.inference_engine()
+        engine.declare_disjoint("carrier:Cars", "carrier:Trucks")
+        engine.engine.add_fact(("implies", "carrier:SUV", "carrier:Trucks"))
+        issues = maintainer.semantic_verify()
+        assert any("carrier:SUV" in issue for issue in issues)
+
+    def test_repair_refreshes_cached_engine(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        engine = maintainer.inference_engine()
+        assert engine.implies("carrier:Car", "factory:Vehicle")
+        transport.sources["carrier"].remove_term("Car")
+        report = maintainer.apply_source_changes("carrier", ["Car"])
+        assert report.inference_mode in ("incremental", "rebuild")
+        # Same engine object, refreshed program: the dropped rule's
+        # implication is gone.
+        assert maintainer.inference_engine() is engine
+        assert not engine.implies("carrier:Car", "factory:Vehicle")
+        assert maintainer.semantic_verify() == []
+
+    def test_semantic_verify_sees_free_edge_additions(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        """A free change (no bridge touched) can still add edges the
+        engine's program loads; semantic_verify must refresh first."""
+        engine = maintainer.inference_engine()
+        engine.declare_disjoint("carrier:Cars", "carrier:Trucks")
+        assert maintainer.semantic_verify() == []
+        carrier = transport.sources["carrier"]
+        carrier.ensure_term("AmphibTruck")
+        carrier.add_subclass("AmphibTruck", "Cars")
+        carrier.add_subclass("AmphibTruck", "Trucks")
+        report = maintainer.apply_source_changes("carrier", ["AmphibTruck"])
+        assert not report.required_work  # classified free, no repair
+        issues = maintainer.semantic_verify()
+        assert any("carrier:AmphibTruck" in issue for issue in issues)
+
+    def test_free_change_leaves_engine_untouched(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        engine = maintainer.inference_engine()
+        facts_before = engine.fact_count()
+        carrier = transport.sources["carrier"]
+        carrier.ensure_term("Scooter")
+        report = maintainer.apply_source_changes("carrier", ["Scooter"])
+        assert report.inference_mode == ""  # no repair, no refresh
+        assert engine.fact_count() == facts_before

@@ -167,3 +167,88 @@ class TestStrategiesAgree:
             transport, strategy="naive"
         )
         assert semi.engine.facts() == naive.engine.facts()
+
+    def test_flat_matches_stratified_on_articulation(
+        self, transport: Articulation
+    ) -> None:
+        flat = OntologyInferenceEngine.from_articulation(
+            transport, scheduling="flat"
+        )
+        stratified = OntologyInferenceEngine.from_articulation(
+            transport, scheduling="stratified"
+        )
+        assert flat.engine.facts() == stratified.engine.facts()
+
+
+class TestIncrementalRefresh:
+    def test_initial_refresh_mode(self, transport: Articulation) -> None:
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        assert engine.last_refresh["mode"] == "initial"
+
+    def test_grown_articulation_refreshes_incrementally(
+        self, transport: Articulation
+    ) -> None:
+        from repro.core.articulation import ArticulationGenerator
+        from repro.core.rules import ArticulationRuleSet, parse_rule
+
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        assert not engine.implies("carrier:SUV", "factory:Vehicle")
+
+        extra = ArticulationRuleSet()
+        extra.add(parse_rule("carrier:SUV => factory:Vehicle"))
+        generator = ArticulationGenerator(
+            transport.sources.values(), name=transport.name
+        )
+        generator.extend(transport, extra)
+
+        refresh = engine.refresh_from_articulation(transport)
+        assert refresh["mode"] == "incremental"
+        assert refresh["added"] >= 1
+        assert engine.implies("carrier:SUV", "factory:Vehicle")
+        # Parity with a from-scratch engine over the grown articulation.
+        scratch = OntologyInferenceEngine.from_articulation(transport)
+        assert engine.engine.facts() == scratch.engine.facts()
+
+    def test_shrunk_articulation_forces_rebuild(
+        self, transport: Articulation
+    ) -> None:
+        from repro.core.articulation import ArticulationGenerator
+        from repro.core.rules import ArticulationRuleSet
+
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        engine.fact_count()  # saturate once
+        implications = list(transport.rules.implications())
+        surviving = ArticulationRuleSet()
+        for rule in transport.rules:
+            if rule is not implications[0]:
+                surviving.add(rule)
+        generator = ArticulationGenerator(
+            transport.sources.values(), name=transport.name
+        )
+        rebuilt = generator.generate(surviving)
+        refresh = engine.refresh_from_articulation(rebuilt)
+        assert refresh["mode"] == "rebuild"
+        scratch = OntologyInferenceEngine.from_articulation(rebuilt)
+        assert engine.engine.facts() == scratch.engine.facts()
+
+    def test_rebuild_replays_disjointness(
+        self, transport: Articulation
+    ) -> None:
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        engine.declare_disjoint("carrier:Cars", "carrier:Trucks")
+        # A rebuild-triggering refresh must keep the declaration alive.
+        engine._program_facts = None
+        engine.refresh_from_articulation(transport)
+        engine.engine.add_fact(("implies", "carrier:SUV", "carrier:Trucks"))
+        assert any(
+            term == "carrier:SUV" for term, _a, _b in engine.contradictions()
+        )
+
+    def test_no_explain_mode_still_answers(
+        self, transport: Articulation
+    ) -> None:
+        engine = OntologyInferenceEngine.from_articulation(
+            transport, record_derivations=False
+        )
+        assert engine.implies("carrier:Car", "factory:Vehicle")
+        assert engine.derived_rules()

@@ -7,7 +7,9 @@ import pytest
 from repro.core.rules import HornClause
 from repro.errors import InferenceError
 from repro.inference.horn import (
+    FactStore,
     HornEngine,
+    compile_clause,
     is_variable,
     substitute,
     unify_atom,
@@ -149,6 +151,17 @@ class TestProgramHygiene:
         with pytest.raises(InferenceError):
             HornEngine(strategy="magic")
 
+    def test_unknown_scheduling_rejected(self) -> None:
+        with pytest.raises(InferenceError):
+            HornEngine(scheduling="psychic")
+
+    def test_duplicate_clause_ignored(self) -> None:
+        engine = HornEngine()
+        engine.add_clause(TRANS)
+        engine.add_clause(TRANS)
+        engine.add_facts([("S", "a", "b"), ("S", "b", "c")])
+        assert engine.saturate() == 1
+
 
 class TestQueries:
     @pytest.fixture
@@ -186,6 +199,23 @@ class TestQueries:
         assert all(f[0] == "S" for f in engine.facts("S"))
         assert ("other", "x", "y") in engine.facts()
 
+    def test_iter_facts_matches_facts_without_copying(
+        self, engine: HornEngine
+    ) -> None:
+        assert set(engine.iter_facts("S")) == engine.facts("S")
+        assert set(engine.iter_facts()) == engine.facts()
+
+    def test_fact_count(self, engine: HornEngine) -> None:
+        engine.add_fact(("other", "x", "y"))
+        assert engine.fact_count("S") == 3
+        assert engine.fact_count() == 4
+
+    def test_query_uses_most_selective_index(self, engine: HornEngine) -> None:
+        # Both a bound first and a bound second argument answer
+        # identically regardless of which bucket gets probed.
+        assert {b["?x"] for b in engine.query(("S", "?x", "c"))} == {"a", "b"}
+        assert {b["?x"] for b in engine.query(("S", "a", "?x"))} == {"b", "c"}
+
 
 class TestExplanations:
     def test_base_fact_explains_itself(self) -> None:
@@ -205,3 +235,61 @@ class TestExplanations:
         engine = HornEngine()
         with pytest.raises(InferenceError):
             engine.explain(("S", "nope", "nope"))
+
+    def test_no_explain_mode_raises_but_derives(self) -> None:
+        engine = HornEngine(record_derivations=False)
+        engine.add_clause(TRANS)
+        engine.add_facts([("S", "a", "b"), ("S", "b", "c")])
+        assert engine.holds(("S", "a", "c"))
+        with pytest.raises(InferenceError):
+            engine.explain(("S", "a", "c"))
+
+    def test_explain_covers_incremental_derivations(self) -> None:
+        engine = HornEngine()
+        engine.add_clause(TRANS)
+        engine.add_facts([("S", "a", "b"), ("S", "b", "c")])
+        engine.saturate()
+        engine.add_fact(("S", "c", "d"))
+        base = set(engine.explain(("S", "a", "d")))
+        assert base <= {("S", "a", "b"), ("S", "b", "c"), ("S", "c", "d")}
+        assert ("S", "c", "d") in base
+
+
+class TestCompilationAndStore:
+    def test_compiled_clause_shared_across_engines(self) -> None:
+        assert compile_clause(TRANS) is compile_clause(TRANS)
+
+    def test_compiled_plan_reorders_for_selectivity(self) -> None:
+        clause = HornClause(
+            ("uncle", "?u", "?n"),
+            (("parent", "?p", "?n"), ("brother", "?u", "?p")),
+        )
+        compiled = compile_clause(clause)
+        # Each delta plan leads with its delta atom.
+        for index, plan in enumerate(compiled.delta_plans):
+            assert plan.steps[0].orig == index
+        assert compiled.body_preds == {"parent", "brother"}
+
+    def test_store_overlay_shares_base_without_copying(self) -> None:
+        base = FactStore()
+        base.add(("S", "a", "b"))
+        base.add(("T", "a", "b"))
+        overlay = FactStore(base=base, visible=frozenset({"S"}))
+        assert ("S", "a", "b") in overlay
+        assert ("T", "a", "b") not in overlay  # restricted away
+        overlay.add(("S", "b", "c"))
+        assert set(overlay.pool("S")) == {("S", "a", "b"), ("S", "b", "c")}
+        assert set(base.pool("S")) == {("S", "a", "b")}  # base untouched
+        assert overlay.probe_size("S", 2, "b") == 1
+        assert len(overlay) == 2
+
+    def test_engine_over_overlay_store_saturates_against_base(self) -> None:
+        base = FactStore()
+        base.add(("S", "a", "b"))
+        base.add(("S", "b", "c"))
+        engine = HornEngine(
+            store=FactStore(base=base, visible=frozenset({"S"}))
+        )
+        engine.add_clause(TRANS)
+        assert engine.holds(("S", "a", "c"))
+        assert ("S", "a", "c") not in base  # derived facts stay local
