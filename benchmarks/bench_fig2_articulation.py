@@ -4,9 +4,15 @@ Measures the cost of generating the transport articulation from the
 carrier/factory sources and the §4.1 rule set, and verifies the output
 is bit-for-bit the paper's articulation (terms, internal edges,
 bridges) every time the benchmark body runs.
+
+The caching ablation measures the version-stamped unified-graph cache
+and the inference engine's no-op refresh skip against uncached
+rebuilds (recorded into ``BENCH_articulation.json``).
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.core.articulation import ArticulationGenerator
 from repro.workloads.paper_example import (
@@ -61,3 +67,99 @@ def test_fig2_generation(benchmark, table) -> None:
             ("conversion functions", len(articulation.functions), 4),
         ],
     )
+
+
+def test_version_stamp_caching(table, record_bench) -> None:
+    """Repeated algebra ops and inference refreshes over one
+    articulation: the version-stamped caches must turn every repeat
+    into a hit / no-op, and a mutation must invalidate them."""
+    from repro.core.algebra import difference
+    from repro.core.rules import ArticulationRuleSet, parse_rule
+    from repro.inference.engine import OntologyInferenceEngine
+
+    articulation = generate()
+    carrier = articulation.sources["carrier"]
+    factory = articulation.sources["factory"]
+    rounds = 25
+
+    # -- unified-graph reuse across algebra ops ------------------------
+    articulation.cache_stats.clear()
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        difference(carrier, factory, articulation)
+    t_cached = time.perf_counter() - t0
+    hits = articulation.cache_stats.get("unified_hits", 0)
+    misses = articulation.cache_stats.get("unified_misses", 0)
+    assert misses == 1 and hits == rounds - 1
+
+    # The uncached baseline: bump the stamp each round so every call
+    # rebuilds the unified graph from scratch.
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        articulation.bump_version()
+        difference(carrier, factory, articulation)
+    t_uncached = time.perf_counter() - t0
+
+    # -- refresh: no-op skip vs forced re-extraction -------------------
+    engine = OntologyInferenceEngine.from_articulation(articulation)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        refresh = engine.refresh_from_articulation(articulation)
+    t_noop = time.perf_counter() - t0
+    assert refresh["mode"] == "noop"
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        articulation.bump_version()
+        refresh = engine.refresh_from_articulation(articulation)
+    t_stamped = time.perf_counter() - t0
+    assert refresh["mode"] == "incremental"
+
+    # -- extend invalidates, then re-caches ----------------------------
+    generator = ArticulationGenerator(
+        articulation.sources.values(), name=articulation.name
+    )
+    extra = ArticulationRuleSet()
+    extra.add(parse_rule("carrier:SUV => factory:Vehicle"))
+    before = articulation.unified_graph()
+    generator.extend(articulation, extra)
+    after = articulation.unified_graph()
+    assert after is not before
+    assert articulation.unified_graph() is after
+    assert engine.refresh_from_articulation(articulation)["mode"] == (
+        "incremental"
+    )
+    assert engine.refresh_from_articulation(articulation)["mode"] == "noop"
+
+    series = {
+        "rounds": rounds,
+        "difference_cached_ms": round(1e3 * t_cached, 2),
+        "difference_uncached_ms": round(1e3 * t_uncached, 2),
+        "difference_speedup": round(t_uncached / t_cached, 1),
+        "unified_hits": hits,
+        "unified_misses": misses,
+        "refresh_noop_ms": round(1e3 * t_noop, 2),
+        "refresh_stamped_ms": round(1e3 * t_stamped, 2),
+        "refresh_speedup": round(t_stamped / t_noop, 1),
+    }
+    table(
+        "FIG2 version-stamp caching (25 repeated ops)",
+        ["metric", "cached/noop", "uncached", "speedup"],
+        [
+            (
+                "difference()",
+                f"{1e3 * t_cached:.1f}ms",
+                f"{1e3 * t_uncached:.1f}ms",
+                f"{t_uncached / t_cached:.1f}x",
+            ),
+            (
+                "engine refresh",
+                f"{1e3 * t_noop:.1f}ms",
+                f"{1e3 * t_stamped:.1f}ms",
+                f"{t_stamped / t_noop:.1f}x",
+            ),
+        ],
+    )
+    record_bench("articulation_cache", series)
+    assert t_cached < t_uncached
+    assert t_noop < t_stamped

@@ -5,9 +5,16 @@ alignment is known.  We degrade the lexicon (fraction of concept
 families unknown to it) and report precision/recall of the raw
 suggestions, plus the DESIGN.md ablation: lexical matchers alone vs
 lexical + structural.
+
+The blocking ablation at the bottom measures the inverted-index
+candidate generation against the preserved all-pairs loops: identical
+proposals, candidate-pair counts proportional to output instead of
+``|o1| x |o2|`` (recorded into ``BENCH_articulation.json``).
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -124,3 +131,85 @@ def test_ablation_structural_matcher(benchmark, table) -> None:
         ],
     )
     assert recall_full >= recall_lexical
+
+
+def sized_workload(terms_per_source: int):
+    return generate_workload(
+        WorkloadConfig(
+            universe_size=terms_per_source * 3,
+            n_sources=2,
+            terms_per_source=terms_per_source,
+            overlap=0.5,
+            identical_fraction=0.3,
+            seed=53,
+        )
+    )
+
+
+def test_blocked_vs_all_pairs(table, record_bench) -> None:
+    """The acceptance ablation: blocked candidate generation against
+    the all-pairs baseline at growing source sizes.  Proposals must be
+    identical; the pairs the blocked pipeline examines must stay a
+    small, shrinking fraction of |o1| x |o2|."""
+    rows = []
+    series = {}
+    for terms in (50, 100, 200):
+        workload = sized_workload(terms)
+        lexicon = workload.lexicon(noise=0.0, seed=7)
+        o1, o2 = workload.sources
+
+        blocked = SkatEngine.default(lexicon, blocking=True)
+        scan = SkatEngine.default(lexicon, blocking=False)
+
+        t0 = time.perf_counter()
+        scan_proposals = scan.propose(o1, o2)
+        t_scan = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        blocked_proposals = blocked.propose(o1, o2)
+        t_blocked = time.perf_counter() - t0
+
+        assert [
+            (c.key(), c.score, c.matcher) for c in blocked_proposals
+        ] == [(c.key(), c.score, c.matcher) for c in scan_proposals]
+
+        all_pairs = o1.term_count() * o2.term_count()
+        blocked_pairs = blocked.last_stats["candidate_pairs"]
+        scan_pairs = scan.last_stats["candidate_pairs"]
+        fraction = blocked_pairs / all_pairs
+        series[terms] = {
+            "all_pairs_bound": all_pairs,
+            "blocked_pairs": blocked_pairs,
+            "scan_pairs": scan_pairs,
+            "pair_fraction": round(fraction, 4),
+            "pairs_by_matcher": blocked.last_stats["pairs_by_matcher"],
+            "blocked_ms": round(1e3 * t_blocked, 2),
+            "scan_ms": round(1e3 * t_scan, 2),
+            "proposals": len(blocked_proposals),
+            "speedup": round(t_scan / t_blocked, 1),
+        }
+        rows.append(
+            (
+                terms,
+                all_pairs,
+                scan_pairs,
+                blocked_pairs,
+                f"{100 * fraction:.1f}%",
+                f"{1e3 * t_scan:.1f}ms",
+                f"{1e3 * t_blocked:.1f}ms",
+            )
+        )
+    table(
+        "SKAT blocked vs all-pairs candidate generation",
+        ["terms/src", "|o1|x|o2|", "scan pairs", "blocked pairs",
+         "fraction", "scan t", "blocked t"],
+        rows,
+    )
+    record_bench("skat", {"blocked_vs_all_pairs": series})
+    # Sub-quadratic growth: the examined fraction of the cross product
+    # must shrink as the sources grow, and stay well below it.
+    fractions = [series[t]["pair_fraction"] for t in (50, 100, 200)]
+    assert fractions[-1] < fractions[0]
+    assert fractions[-1] < 0.2, (
+        f"blocked pipeline examined {100 * fractions[-1]:.1f}% of the "
+        "cross product at the largest size"
+    )

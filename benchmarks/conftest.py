@@ -9,7 +9,34 @@ claims.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+_ARTICULATION_JSON = Path(__file__).resolve().parent / "BENCH_articulation.json"
+
+
+def record_articulation_bench(section: str, payload: dict) -> None:
+    """Merge one experiment's series into ``BENCH_articulation.json``.
+
+    The articulation benchmarks span three modules
+    (``bench_pattern_matching``, ``bench_skat``,
+    ``bench_fig2_articulation``), each owning one section; merging by
+    section keeps partial runs from clobbering the others' records.
+    """
+    record: dict = {"experiment": "ARTICULATION", "sections": {}}
+    if _ARTICULATION_JSON.exists():
+        try:
+            existing = json.loads(_ARTICULATION_JSON.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        if isinstance(existing.get("sections"), dict):
+            record["sections"] = existing["sections"]
+    record["sections"][section] = payload
+    _ARTICULATION_JSON.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
@@ -30,3 +57,8 @@ def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
 @pytest.fixture
 def table():
     return print_table
+
+
+@pytest.fixture
+def record_bench():
+    return record_articulation_bench

@@ -177,7 +177,7 @@ def difference(
     if strategy not in ("conservative", "formal"):
         raise AlgebraError(f"unknown difference strategy {strategy!r}")
     articulation = _articulate(o1, o2, rules, articulation_name)
-    unified = articulation.unified_graph()
+    unified = articulation.unified_graph()  # cached on the articulation
 
     # "Determined to exist in the second": a directed path over
     # implication-carrying edges (local SubclassOf / InstanceOf, SI,
@@ -195,14 +195,20 @@ def difference(
         node for node in unified.nodes() if node.startswith(f"{o2.name}:")
     }
 
-    deleted: set[str] = set()
-    for term in o1.terms():
-        qualified = qualify(o1.name, term)
-        if not unified.has_node(qualified):
-            continue
-        reach = unified.reachable_from(qualified, labels=implication_labels)
-        if reach & o2_nodes:
-            deleted.add(term)
+    # One reverse BFS from O2's namespace replaces a forward BFS per O1
+    # term: a term reaches O2 iff it lies in the set that reaches O2.
+    reaches_o2: set[str] = (
+        unified.reachable_from(
+            o2_nodes, labels=implication_labels, reverse=True
+        )
+        if o2_nodes
+        else set()
+    )
+    deleted = {
+        term
+        for term in o1.terms()
+        if qualify(o1.name, term) in reaches_o2
+    }
 
     kept = {term for term in o1.terms() if term not in deleted}
 

@@ -67,6 +67,15 @@ class Articulation:
     ``articulation:Term``); ``ontology`` holds the articulation's own
     nodes and internal edges; ``functions`` maps a conversion edge
     label (``"PSToEuroFn()"``) to its executable rule.
+
+    ``version`` is a monotonically bumped mutation stamp: the
+    generator, the maintenance repair, and the bridge-dropping helpers
+    bump it, and :meth:`fingerprint` combines it with the mutation
+    versions of every underlying graph.  Derived state — the unified
+    graph, the covered-term set, downstream inference programs — is
+    cached against that fingerprint instead of being rebuilt per call;
+    ``cache_stats`` counts the hits and misses tests and benchmarks
+    assert on.
     """
 
     ontology: Ontology
@@ -75,10 +84,60 @@ class Articulation:
     bridges: set[Edge] = field(default_factory=set)
     functions: dict[str, FunctionalRule] = field(default_factory=dict)
     log: TransformLog = field(default_factory=TransformLog)
+    version: int = field(default=0, compare=False)
+    cache_stats: dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _unified_cache: tuple[LabeledGraph, tuple, int] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _covered_cache: tuple[tuple, set[str]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def name(self) -> str:
         return self.ontology.name
+
+    # ------------------------------------------------------------------
+    # version stamping
+    # ------------------------------------------------------------------
+    def bump_version(self) -> None:
+        """Record a mutation not visible through the graph versions
+        (bridge/function/rule swaps); invalidates every cached view."""
+        self.version += 1
+
+    def fingerprint(self) -> tuple:
+        """A cheap change stamp over everything the unified view reads.
+
+        Combines the explicit ``version`` with the mutation counters of
+        the articulation graph and every source graph, plus
+        order-insensitive content stamps of the bridge set and the
+        function table (both public fields, mutable in place by
+        external callers — size alone would miss an equal-count swap).
+        O(#sources + #bridges), no graph traversal.
+        """
+        bridge_stamp = 0
+        for edge in self.bridges:
+            bridge_stamp ^= hash(edge)
+        function_stamp = 0
+        for label in self.functions:
+            function_stamp ^= hash(label)
+        return (
+            self.version,
+            self.ontology.graph.version,
+            tuple(
+                sorted(
+                    (name, source.graph.version)
+                    for name, source in self.sources.items()
+                )
+            ),
+            len(self.bridges),
+            bridge_stamp,
+            len(self.functions),
+            function_stamp,
+            self.rules.version,
+        )
 
     # ------------------------------------------------------------------
     # bridge navigation (used by algebra, query reformulation)
@@ -116,14 +175,27 @@ class Articulation:
 
         The maintenance story (§5.3) hinges on this set: changes to
         source terms outside it never require articulation updates.
+        Cached against :meth:`fingerprint` — the maintainer classifies
+        every change batch through it.
         """
+        fp = self.fingerprint()
+        cached = self._covered_cache
+        if cached is not None and cached[0] == fp:
+            self.cache_stats["covered_hits"] = (
+                self.cache_stats.get("covered_hits", 0) + 1
+            )
+            return set(cached[1])
         prefix = f"{self.name}:"
         covered: set[str] = set()
         for edge in self.bridges:
             for endpoint in (edge.source, edge.target):
                 if not endpoint.startswith(prefix):
                     covered.add(endpoint)
-        return covered
+        self._covered_cache = (fp, covered)
+        self.cache_stats["covered_misses"] = (
+            self.cache_stats.get("covered_misses", 0) + 1
+        )
+        return set(covered)
 
     def conversion_between(
         self, qualified_source: str, qualified_target: str
@@ -146,7 +218,23 @@ class Articulation:
 
         This is exactly the union semantics of §5.1:
         ``N = N1 + N2 + NA`` and ``E = E1 + E2 + EA + BridgeEdges``.
+
+        The built graph is cached against :meth:`fingerprint`, so
+        repeated algebra operators, query reformulation and match-index
+        construction share one instance (and one set of pattern
+        indexes) until something underneath actually changes.  Treat
+        the result as read-only; a caller that mutates it bumps its
+        version and the cache rebuilds on the next call.
         """
+        fp = self.fingerprint()
+        cached = self._unified_cache
+        if cached is not None:
+            graph, built_fp, built_version = cached
+            if built_fp == fp and graph.version == built_version:
+                self.cache_stats["unified_hits"] = (
+                    self.cache_stats.get("unified_hits", 0) + 1
+                )
+                return graph
         graph = LabeledGraph()
         for source in self.sources.values():
             graph.merge(source.qualified_graph())
@@ -156,7 +244,22 @@ class Articulation:
             # since generation; skip dangling bridges rather than fail.
             if graph.has_node(edge.source) and graph.has_node(edge.target):
                 graph.add_edge(edge.source, edge.label, edge.target)
+        self._unified_cache = (graph, fp, graph.version)
+        self.cache_stats["unified_misses"] = (
+            self.cache_stats.get("unified_misses", 0) + 1
+        )
         return graph
+
+    def match_index(self, config) -> "object":
+        """The cached pattern-match index over the unified graph.
+
+        Import-light convenience for rule application and the algebra:
+        the index lives on the cached unified graph, so it survives
+        across calls exactly as long as the graph does.
+        """
+        from repro.core.patterns import MatchIndex
+
+        return MatchIndex.for_graph(self.unified_graph(), config)
 
     def dangling_bridges(self) -> list[Edge]:
         """Bridges whose source-side endpoint no longer exists.
@@ -184,6 +287,8 @@ class Articulation:
         dangling = self.dangling_bridges()
         for edge in dangling:
             self.bridges.discard(edge)
+        if dangling:
+            self.bump_version()
         return len(dangling)
 
     def cost(self) -> int:
@@ -314,6 +419,7 @@ class ArticulationGenerator:
         edge = Edge(source, label, target)
         if edge not in articulation.bridges:
             articulation.bridges.add(edge)
+            articulation.bump_version()
             # Bridges live outside any one graph; journal them on the
             # articulation's log with a free-standing EA for costing.
             articulation.log.applied.append(EdgeAddition((edge,)))
@@ -450,6 +556,7 @@ class ArticulationGenerator:
         label = rule.edge_label()
         self._add_bridge(articulation, source, label, target)
         articulation.functions[label] = rule
+        articulation.bump_version()
         inverse_label = rule.inverse_edge_label()
         if inverse_label is not None:
             self._add_bridge(articulation, target, inverse_label, source)

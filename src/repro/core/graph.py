@@ -68,7 +68,15 @@ class LabeledGraph:
     several sources without clashing.
     """
 
-    __slots__ = ("_labels", "_out", "_in", "_edges", "_by_label")
+    __slots__ = (
+        "_labels",
+        "_out",
+        "_in",
+        "_edges",
+        "_by_label",
+        "_version",
+        "_match_indexes",
+    )
 
     def __init__(self) -> None:
         self._labels: dict[str, str] = {}
@@ -76,6 +84,21 @@ class LabeledGraph:
         self._in: dict[str, set[Edge]] = {}
         self._edges: set[Edge] = set()
         self._by_label: dict[str, set[str]] = {}
+        self._version = 0
+        # Per-(graph, MatchConfig-value) candidate indexes, managed by
+        # repro.core.patterns.MatchIndex; entries self-invalidate
+        # against ``_version``.
+        self._match_indexes: dict[tuple, object] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every structural change.
+
+        Caches built over a graph (pattern-match indexes, cached unified
+        graphs) record the version they were built at and rebuild when
+        it moves.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # node operations
@@ -96,6 +119,7 @@ class LabeledGraph:
         self._out[node_id] = set()
         self._in[node_id] = set()
         self._by_label.setdefault(resolved, set()).add(node_id)
+        self._version += 1
         return node_id
 
     def ensure_node(self, node_id: str, label: str | None = None) -> str:
@@ -123,6 +147,7 @@ class LabeledGraph:
             del self._by_label[label]
         del self._out[node_id]
         del self._in[node_id]
+        self._version += 1
         return incident
 
     def has_node(self, node_id: str) -> bool:
@@ -148,6 +173,7 @@ class LabeledGraph:
             del self._by_label[old]
         self._labels[node_id] = label
         self._by_label.setdefault(label, set()).add(node_id)
+        self._version += 1
 
     def nodes(self) -> Iterator[str]:
         return iter(self._labels)
@@ -184,6 +210,7 @@ class LabeledGraph:
             self._edges.add(edge)
             self._out[source].add(edge)
             self._in[target].add(edge)
+            self._version += 1
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
@@ -192,6 +219,7 @@ class LabeledGraph:
         self._edges.discard(edge)
         self._out[edge.source].discard(edge)
         self._in[edge.target].discard(edge)
+        self._version += 1
 
     def discard_edge(self, edge: Edge) -> bool:
         """Remove the edge if present; return whether it was removed."""
@@ -346,6 +374,8 @@ class LabeledGraph:
         clone._out = {n: set(edges) for n, edges in self._out.items()}
         clone._in = {n: set(edges) for n, edges in self._in.items()}
         clone._by_label = {lbl: set(ids) for lbl, ids in self._by_label.items()}
+        # Match indexes are keyed to the original object; the clone
+        # starts with none and its own version history.
         return clone
 
     def subgraph(self, node_ids: Iterable[str]) -> "LabeledGraph":

@@ -95,7 +95,9 @@ class ArticulationMaintainer:
         A term is *affected* when a bridge references it — i.e. it lies
         outside the difference of its source with the articulated
         world.  Everything else is free: the paper's no-maintenance
-        region.
+        region.  The covered-term set is version-stamp cached on the
+        articulation, so back-to-back change batches classify without
+        re-walking the bridges.
         """
         if source_name not in self.articulation.sources:
             raise ArticulationError(
@@ -204,12 +206,17 @@ class ArticulationMaintainer:
         rebuilt = generator.generate(surviving)
 
         # Swap the rebuilt state into the existing articulation object,
-        # so callers holding a reference observe the repair.
+        # so callers holding a reference observe the repair.  The
+        # version stamp must move: the swapped-in graphs carry their
+        # own mutation counters, which could coincide with the old
+        # fingerprint and make cached unified views / inference
+        # programs (wrongly) look current.
         articulation.ontology = rebuilt.ontology
         articulation.bridges = rebuilt.bridges
         articulation.functions = rebuilt.functions
         articulation.rules = rebuilt.rules
         articulation.log = rebuilt.log
+        articulation.bump_version()
 
         report.dropped_bridges -= len(rebuilt.bridges)
         report.dropped_bridges = max(report.dropped_bridges, 0)

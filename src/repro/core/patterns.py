@@ -15,6 +15,22 @@ expert choices; :func:`find_matches` implements the backtracking
 search.  Pattern nodes may also be *variables* (unlabeled), which bind
 to any graph node — the textual form ``truck(O: owner, model)`` from
 the paper binds ``O`` this way.
+
+Two execution strategies share one backtracking core:
+
+* ``strategy="indexed"`` (default) resolves condition 1 through a
+  :class:`MatchIndex` — a per-``(graph, MatchConfig)`` map from labels
+  to candidate node sets with the case/synonym closure folded in at
+  build time, cached on the graph and invalidated by its mutation
+  version — and compiles the pattern once per call
+  (:func:`compile_pattern`): nodes ordered by selectivity, each edge
+  check lowered to an O(1) set or pair lookup.
+* ``strategy="scan"`` is the original per-call label scan, preserved
+  as the parity baseline the property suite and the benchmarks compare
+  against.
+
+Both strategies enumerate candidates in sorted order, so matches are
+reproducible run-to-run and identical between strategies.
 """
 
 from __future__ import annotations
@@ -30,7 +46,10 @@ __all__ = [
     "PatternEdge",
     "Pattern",
     "MatchConfig",
+    "MatchIndex",
+    "CompiledPattern",
     "Binding",
+    "compile_pattern",
     "find_matches",
     "matches",
     "first_match",
@@ -102,6 +121,8 @@ class Pattern:
         self.ontology = ontology
         self._nodes: dict[str, PatternNode] = {}
         self._edges: list[PatternEdge] = []
+        self._nodes_view: tuple[PatternNode, ...] | None = None
+        self._edges_view: tuple[PatternEdge, ...] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -116,6 +137,7 @@ class Pattern:
             raise PatternError(f"duplicate pattern node id {node_id!r}")
         node = PatternNode(node_id, label, variable)
         self._nodes[node_id] = node
+        self._nodes_view = None
         return node
 
     def add_edge(self, source: str, label: str, target: str) -> PatternEdge:
@@ -128,6 +150,7 @@ class Pattern:
                                f"(use {ANY_LABEL!r} for a wildcard)")
         edge = PatternEdge(source, label, target)
         self._edges.append(edge)
+        self._edges_view = None
         return edge
 
     @classmethod
@@ -161,8 +184,11 @@ class Pattern:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
-    def nodes(self) -> list[PatternNode]:
-        return list(self._nodes.values())
+    def nodes(self) -> tuple[PatternNode, ...]:
+        """All pattern nodes, as a cached tuple (no per-call copy)."""
+        if self._nodes_view is None:
+            self._nodes_view = tuple(self._nodes.values())
+        return self._nodes_view
 
     def node(self, node_id: str) -> PatternNode:
         try:
@@ -170,8 +196,11 @@ class Pattern:
         except KeyError:
             raise PatternError(f"no pattern node {node_id!r}") from None
 
-    def edges(self) -> list[PatternEdge]:
-        return list(self._edges)
+    def edges(self) -> tuple[PatternEdge, ...]:
+        """All pattern edges, as a cached tuple (no per-call copy)."""
+        if self._edges_view is None:
+            self._edges_view = tuple(self._edges)
+        return self._edges_view
 
     def variables(self) -> list[str]:
         return [n.variable for n in self._nodes.values() if n.variable]
@@ -192,7 +221,9 @@ class MatchConfig:
     """Expert-tunable match semantics (paper §3, fuzzy matching).
 
     * ``synonyms`` — mapping from a term to its accepted alternatives;
-      symmetric closure is applied, so one direction suffices.
+      :meth:`with_synonyms` builds the full symmetric+transitive
+      closure, so chained pairs ``a~b``, ``b~c`` also make ``a`` match
+      ``c``.
     * ``case_insensitive`` — compare labels case-insensitively.
     * ``relax_edge_labels`` — drop condition 2's label equality: any
       edge in the right direction matches.
@@ -217,13 +248,61 @@ class MatchConfig:
 
     @classmethod
     def with_synonyms(cls, pairs: Iterable[tuple[str, str]]) -> "MatchConfig":
-        """Build a config from symmetric synonym pairs."""
-        table: dict[str, set[str]] = {}
+        """Build a config from synonym pairs, fully closed.
+
+        The table is the symmetric *and transitive* closure of the
+        pairs: two rules chaining ``a -> b`` and ``b -> c`` put ``a``,
+        ``b`` and ``c`` in one equivalence class, so ``a`` matches
+        ``c`` without the expert restating the composite pair.
+        """
+        adjacency: dict[str, set[str]] = {}
         for a, b in pairs:
-            table.setdefault(a, set()).add(b)
-            table.setdefault(b, set()).add(a)
-        frozen = {term: frozenset(alts) for term, alts in table.items()}
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        frozen: dict[str, frozenset[str]] = {}
+        seen: set[str] = set()
+        for start in adjacency:
+            if start in seen:
+                continue
+            component = {start}
+            stack = [start]
+            while stack:
+                for neighbor in adjacency[stack.pop()]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        stack.append(neighbor)
+            seen |= component
+            for term in component:
+                frozen[term] = frozenset(component - {term})
         return cls(synonyms=frozen)
+
+    # -- index cache key --------------------------------------------------
+    def cache_key(self) -> tuple:
+        """A hashable *value* key for per-graph match-index caches.
+
+        Equal configs share one :class:`MatchIndex` even when callers
+        construct a fresh (frozen, value-equal) instance per call.  The
+        predicate escape hatches compare by identity — their behavior
+        is not introspectable — and the cached index keeps its config
+        (and thus the predicates) alive, so a recycled ``id`` can never
+        false-match a live cache entry.
+        """
+        cached = self.__dict__.get("_cache_key")
+        if cached is None:
+            cached = (
+                tuple(
+                    sorted(
+                        (term, tuple(sorted(alts)))
+                        for term, alts in self.synonyms.items()
+                    )
+                ),
+                self.case_insensitive,
+                self.relax_edge_labels,
+                id(self.node_equiv) if self.node_equiv is not None else None,
+                id(self.edge_equiv) if self.edge_equiv is not None else None,
+            )
+            object.__setattr__(self, "_cache_key", cached)
+        return cached
 
     # -- label comparison ------------------------------------------------
     def node_labels_match(self, pattern_label: str, graph_label: str) -> bool:
@@ -257,12 +336,252 @@ class MatchConfig:
         return False
 
 
-def _candidates(
+# ----------------------------------------------------------------------
+# the match index (built once per (graph, config), cached on the graph)
+# ----------------------------------------------------------------------
+class MatchIndex:
+    """Precomputed candidate lookups for one ``(graph, MatchConfig)``.
+
+    The index folds the fuzzy-label closure into build-time maps so
+    that resolving a pattern label costs a few dict lookups instead of
+    a scan over every distinct graph label:
+
+    * the exact label index comes straight from the graph;
+    * ``case_insensitive`` adds a lowercased-label map (built once);
+    * synonym alternatives resolve through those same maps;
+    * an arbitrary ``node_equiv`` predicate cannot be inverted, so it
+      falls back to one label scan — but only once per distinct
+      pattern label, memoized for the life of the index.
+
+    Edge checks use a lazily built ``(source, target) -> labels`` pair
+    map, turning the relaxed-edge test into one dict probe.
+
+    Instances are cached on the graph (:meth:`for_graph`) and
+    self-invalidate when the graph's mutation version moves.
+    """
+
+    __slots__ = (
+        "graph",
+        "config",
+        "version",
+        "_by_lower",
+        "_label_cache",
+        "_all_nodes",
+        "_pair_labels",
+    )
+
+    def __init__(self, graph: LabeledGraph, config: MatchConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.version = graph.version
+        self._by_lower: dict[str, set[str]] | None = None
+        self._label_cache: dict[str, tuple[str, ...]] = {}
+        self._all_nodes: tuple[str, ...] | None = None
+        self._pair_labels: dict[tuple[str, str], set[str]] | None = None
+
+    # A handful of configs per graph is the realistic ceiling; beyond
+    # it, drop the oldest entries rather than grow without bound.
+    _CACHE_LIMIT = 8
+
+    @classmethod
+    def for_graph(cls, graph: LabeledGraph, config: MatchConfig) -> "MatchIndex":
+        """The cached index for this config, rebuilt if the graph moved.
+
+        Keyed by the config's *value* (:meth:`MatchConfig.cache_key`),
+        so callers constructing a fresh equal config per call still
+        reuse the warm index.
+        """
+        cache = graph._match_indexes
+        key = config.cache_key()
+        entry = cache.get(key)
+        if entry is not None and entry.version == graph.version:
+            return entry
+        if entry is None and len(cache) >= cls._CACHE_LIMIT:
+            # Evict the oldest entry (dict preserves insertion order)
+            # rather than wiping every warm index on the graph.
+            del cache[next(iter(cache))]
+        index = cls(graph, config)
+        cache[key] = index
+        return index
+
+    def fresh(self) -> bool:
+        return self.version == self.graph.version
+
+    # -- candidate resolution -------------------------------------------
+    def all_nodes(self) -> tuple[str, ...]:
+        """Every graph node, sorted (wildcard candidates)."""
+        if self._all_nodes is None:
+            self._all_nodes = tuple(sorted(self.graph.nodes()))
+        return self._all_nodes
+
+    def _lower_map(self) -> dict[str, set[str]]:
+        if self._by_lower is None:
+            by_lower: dict[str, set[str]] = {}
+            for label in self.graph.labels():
+                by_lower.setdefault(label.lower(), set()).update(
+                    self.graph.nodes_with_label(label)
+                )
+            self._by_lower = by_lower
+        return self._by_lower
+
+    def candidates(self, pattern_label: str) -> tuple[str, ...]:
+        """Graph nodes satisfying condition 1 for ``pattern_label``.
+
+        Exactly the set the scanning baseline produces, sorted.
+        """
+        cached = self._label_cache.get(pattern_label)
+        if cached is not None:
+            return cached
+        graph, config = self.graph, self.config
+        found: set[str] = set(graph.nodes_with_label(pattern_label))
+        if config.case_insensitive:
+            found |= self._lower_map().get(pattern_label.lower(), set())
+        alts = config.synonyms.get(pattern_label)
+        if alts:
+            for alt in alts:
+                found |= graph.nodes_with_label(alt)
+                if config.case_insensitive:
+                    found |= self._lower_map().get(alt.lower(), set())
+        if config.node_equiv is not None:
+            equiv = config.node_equiv
+            for label in graph.labels():
+                if equiv(pattern_label, label):
+                    found |= graph.nodes_with_label(label)
+        result = tuple(sorted(found))
+        self._label_cache[pattern_label] = result
+        return result
+
+    # -- edge resolution -------------------------------------------------
+    def pair_labels(self, source: str, target: str) -> set[str]:
+        """Edge labels present between a node pair (possibly empty)."""
+        if self._pair_labels is None:
+            pairs: dict[tuple[str, str], set[str]] = {}
+            for edge in self.graph.edges():
+                pairs.setdefault((edge.source, edge.target), set()).add(
+                    edge.label
+                )
+            self._pair_labels = pairs
+        return self._pair_labels.get((source, target), _NO_LABELS)
+
+
+_NO_LABELS: set[str] = set()
+
+# The shared default config: every config-less find_matches call must
+# resolve to ONE object, or the identity-keyed index cache would miss
+# (and churn) on every call.
+_STRICT_CONFIG = MatchConfig.strict()
+
+# Edge-check kinds precomputed by compile_pattern.
+_EDGE_EXACT = 0  # strict label: one O(1) has_edge probe
+_EDGE_ANY = 1  # wildcard / relaxed: any edge between the pair
+_EDGE_EQUIV = 2  # expert edge_equiv: test the pair's label set
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledPattern:
+    """A pattern lowered against one graph + config.
+
+    ``order`` assigns the most constrained nodes first; ``candidates``
+    holds the (sorted) candidate tuple per pattern node id; ``checks``
+    lists, per assignment depth, the edge tests whose endpoints are
+    bound once that node is assigned, each lowered to
+    ``(source_id, target_id, pattern_label, kind)``.
+    """
+
+    order: tuple[PatternNode, ...]
+    candidates: Mapping[str, tuple[str, ...]]
+    checks: tuple[tuple[tuple[str, str, str, int], ...], ...]
+
+
+def _order_nodes(
+    nodes: Iterable[PatternNode],
+    candidate_sets: Mapping[str, Iterable[str]],
+    adjacency: Mapping[str, list[PatternEdge]],
+) -> list[PatternNode]:
+    """Most constrained (fewest candidates, then most edges) first.
+
+    Shared by both strategies so they assign nodes in the same order
+    and therefore emit identical binding sequences.
+    """
+    return sorted(
+        nodes,
+        key=lambda n: (
+            len(candidate_sets[n.node_id]),
+            -len(adjacency[n.node_id]),
+        ),
+    )
+
+
+def _pattern_adjacency(
+    nodes: Iterable[PatternNode], edges: Iterable[PatternEdge]
+) -> dict[str, list[PatternEdge]]:
+    adjacency: dict[str, list[PatternEdge]] = {n.node_id: [] for n in nodes}
+    for edge in edges:
+        adjacency[edge.source].append(edge)
+        adjacency[edge.target].append(edge)
+    return adjacency
+
+
+def compile_pattern(
+    pattern: Pattern,
+    graph: LabeledGraph,
+    config: MatchConfig | None = None,
+    *,
+    index: MatchIndex | None = None,
+) -> CompiledPattern:
+    """Lower ``pattern`` for matching against ``graph`` under ``config``.
+
+    Candidate sets resolve through the (cached) :class:`MatchIndex`;
+    pattern nodes are ordered by selectivity; every pattern edge is
+    classified once into the cheapest check its semantics allow, and
+    attached to the assignment depth at which both endpoints are bound.
+    """
+    config = config if config is not None else _STRICT_CONFIG
+    nodes = pattern.nodes()
+    if not nodes:
+        raise PatternError("cannot match an empty pattern")
+    index = index if index is not None else MatchIndex.for_graph(graph, config)
+
+    candidates = {
+        n.node_id: (
+            index.all_nodes() if n.is_wildcard else index.candidates(n.label)
+        )
+        for n in nodes
+    }
+    adjacency = _pattern_adjacency(nodes, pattern.edges())
+    order = tuple(_order_nodes(nodes, candidates, adjacency))
+
+    depth_of = {node.node_id: depth for depth, node in enumerate(order)}
+    checks: list[list[tuple[str, str, str, int]]] = [[] for _ in order]
+    for edge in pattern.edges():
+        if edge.label == ANY_LABEL or config.relax_edge_labels:
+            kind = _EDGE_ANY
+        elif config.edge_equiv is not None:
+            kind = _EDGE_EQUIV
+        else:
+            kind = _EDGE_EXACT
+        bound_at = max(depth_of[edge.source], depth_of[edge.target])
+        checks[bound_at].append((edge.source, edge.target, edge.label, kind))
+    return CompiledPattern(
+        order=order,
+        candidates=candidates,
+        checks=tuple(tuple(c) for c in checks),
+    )
+
+
+# ----------------------------------------------------------------------
+# the scanning baseline (parity reference)
+# ----------------------------------------------------------------------
+def _scan_candidates(
     node: PatternNode, graph: LabeledGraph, config: MatchConfig
 ) -> list[str]:
-    """Graph nodes that could satisfy condition 1 for ``node``."""
+    """Graph nodes that could satisfy condition 1 for ``node``.
+
+    The pre-index code path: a full label scan per fuzzy lookup.  Kept
+    as the baseline the parity suite and benchmarks measure against.
+    """
     if node.is_wildcard:
-        return list(graph.nodes())
+        return sorted(graph.nodes())
     assert node.label is not None
     # Fast path: exact label index.
     found = set(graph.nodes_with_label(node.label))
@@ -271,46 +590,26 @@ def _candidates(
     )
     if needs_scan:
         for label in graph.labels():
-            if label in found:
-                continue
+            if label == node.label:
+                continue  # already covered by the exact index above
             if config.node_labels_match(node.label, label):
                 found.update(graph.nodes_with_label(label))
-    return list(found)
+    return sorted(found)
 
 
-def find_matches(
+def _find_matches_scan(
     pattern: Pattern,
     graph: LabeledGraph,
-    config: MatchConfig | None = None,
-    *,
-    limit: int | None = None,
+    config: MatchConfig,
+    limit: int | None,
 ) -> Iterator[Binding]:
-    """All mappings of ``pattern`` into ``graph`` under ``config``.
-
-    Backtracking search ordered most-constrained-first: labeled pattern
-    nodes with the fewest candidates are assigned before wildcards, and
-    every partial assignment is checked against the pattern edges whose
-    endpoints are already bound.
-    """
-    config = config or MatchConfig.strict()
     nodes = pattern.nodes()
-    if not nodes:
-        raise PatternError("cannot match an empty pattern")
-
     candidate_sets = {
-        n.node_id: _candidates(n, graph, config) for n in nodes
+        n.node_id: _scan_candidates(n, graph, config) for n in nodes
     }
-    # Most constrained (fewest candidates, then most pattern edges) first.
-    adjacency: dict[str, list[PatternEdge]] = {n.node_id: [] for n in nodes}
-    for edge in pattern.edges():
-        adjacency[edge.source].append(edge)
-        adjacency[edge.target].append(edge)
-    order = sorted(
-        nodes,
-        key=lambda n: (len(candidate_sets[n.node_id]), -len(adjacency[n.node_id])),
-    )
+    adjacency = _pattern_adjacency(nodes, pattern.edges())
+    order = _order_nodes(nodes, candidate_sets, adjacency)
 
-    edges = pattern.edges()
     assignment: dict[str, str] = {}
     used: set[str] = set()
     emitted = 0
@@ -357,6 +656,108 @@ def find_matches(
             used.discard(candidate)
 
     yield from extend(0)
+
+
+# ----------------------------------------------------------------------
+# the indexed engine
+# ----------------------------------------------------------------------
+def _find_matches_indexed(
+    pattern: Pattern,
+    graph: LabeledGraph,
+    config: MatchConfig,
+    limit: int | None,
+) -> Iterator[Binding]:
+    index = MatchIndex.for_graph(graph, config)
+    compiled = compile_pattern(pattern, graph, config, index=index)
+    order = compiled.order
+    candidates = compiled.candidates
+    checks = compiled.checks
+    nodes = pattern.nodes()
+    injective = config.injective
+    has_edge = graph.has_edge
+    pair_labels = index.pair_labels
+    edge_labels_match = config.edge_labels_match
+
+    assignment: dict[str, str] = {}
+    used: set[str] = set()
+    emitted = 0
+
+    def checks_ok(depth: int) -> bool:
+        for src_id, dst_id, label, kind in checks[depth]:
+            src = assignment[src_id]
+            dst = assignment[dst_id]
+            if kind == _EDGE_EXACT:
+                if not has_edge(src, label, dst):
+                    return False
+            elif kind == _EDGE_ANY:
+                if not pair_labels(src, dst):
+                    return False
+            else:  # _EDGE_EQUIV
+                if not any(
+                    edge_labels_match(label, gl)
+                    for gl in pair_labels(src, dst)
+                ):
+                    return False
+        return True
+
+    def extend(depth: int) -> Iterator[Binding]:
+        nonlocal emitted
+        if depth == len(order):
+            variables = {
+                n.variable: assignment[n.node_id]
+                for n in nodes
+                if n.variable is not None
+            }
+            emitted += 1
+            yield Binding(dict(assignment), variables)
+            return
+        pattern_node = order[depth]
+        node_id = pattern_node.node_id
+        for candidate in candidates[node_id]:
+            if injective and candidate in used:
+                continue
+            assignment[node_id] = candidate
+            used.add(candidate)
+            if checks_ok(depth):
+                yield from extend(depth + 1)
+                if limit is not None and emitted >= limit:
+                    del assignment[node_id]
+                    used.discard(candidate)
+                    return
+            del assignment[node_id]
+            used.discard(candidate)
+
+    yield from extend(0)
+
+
+def find_matches(
+    pattern: Pattern,
+    graph: LabeledGraph,
+    config: MatchConfig | None = None,
+    *,
+    limit: int | None = None,
+    strategy: str = "indexed",
+) -> Iterator[Binding]:
+    """All mappings of ``pattern`` into ``graph`` under ``config``.
+
+    Backtracking search ordered most-constrained-first: labeled pattern
+    nodes with the fewest candidates are assigned before wildcards, and
+    every partial assignment is checked against the pattern edges whose
+    endpoints are already bound.
+
+    ``strategy`` selects ``"indexed"`` (default: cached
+    :class:`MatchIndex` + :func:`compile_pattern`) or ``"scan"`` (the
+    per-call label-scan baseline).  Both enumerate the same bindings in
+    the same order.
+    """
+    config = config if config is not None else _STRICT_CONFIG
+    if not len(pattern):
+        raise PatternError("cannot match an empty pattern")
+    if strategy == "indexed":
+        return _find_matches_indexed(pattern, graph, config, limit)
+    if strategy == "scan":
+        return _find_matches_scan(pattern, graph, config, limit)
+    raise PatternError(f"unknown match strategy {strategy!r}")
 
 
 def matches(

@@ -327,13 +327,28 @@ Rule = ImplicationRule | FunctionalRule
 
 
 class ArticulationRuleSet:
-    """An ordered, de-duplicated collection of articulation rules."""
+    """An ordered, de-duplicated collection of articulation rules.
+
+    ``version`` is a monotonic mutation counter: it moves on every
+    successful :meth:`add`, so caches keyed on it (the articulation's
+    fingerprint, the memoized atomic-implication extraction) detect
+    change without hashing the rules themselves.
+    """
 
     def __init__(self, rules: Iterable[Rule] = ()) -> None:
         self._rules: list[Rule] = []
         self._seen: set[str] = set()
+        self._version = 0
+        # (version, articulation name) -> atomic (specific, general)
+        # pairs, in rule order; one entry only — refreshes target one
+        # articulation at a time.
+        self._atomic_cache: tuple[tuple[int, str], tuple[tuple[str, str], ...]] | None = None
         for rule in rules:
             self.add(rule)
+
+    @property
+    def version(self) -> int:
+        return self._version
 
     def add(self, rule: Rule) -> bool:
         """Add a rule; return False if an identical rule is present."""
@@ -342,7 +357,27 @@ class ArticulationRuleSet:
             return False
         self._seen.add(key)
         self._rules.append(rule)
+        self._version += 1
         return True
+
+    def atomic_pairs(self, articulation: str) -> tuple[tuple[str, str], ...]:
+        """Every implication rule's atomic ``(specific, general)`` pairs.
+
+        Memoized against ``version`` — the inference engine re-extracts
+        the rule program on each refresh, and the rule set rarely moves
+        between refreshes.  Returns a tuple so callers cannot mutate
+        the cached entry in place.
+        """
+        key = (self._version, articulation)
+        cached = self._atomic_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        pairs: list[tuple[str, str]] = []
+        for rule in self.implications():
+            pairs.extend(rule.atomic_implications(articulation))
+        frozen = tuple(pairs)
+        self._atomic_cache = (key, frozen)
+        return frozen
 
     def add_text(self, text: str) -> bool:
         return self.add(parse_rule(text))

@@ -92,10 +92,16 @@ class UnifiedOntology:
         )
 
     # ------------------------------------------------------------------
-    # the union graph (computed, never stored)
+    # the union graph (version-stamp cached on the articulation)
     # ------------------------------------------------------------------
     def graph(self) -> LabeledGraph:
-        """§5.1 union semantics over qualified node ids."""
+        """§5.1 union semantics over qualified node ids.
+
+        Returns the articulation's *shared cached* unified graph —
+        treat it as read-only; mutate a ``.copy()`` instead (the same
+        instance backs the algebra operators and cached match
+        indexes).
+        """
         return self.articulation.unified_graph()
 
     def materialize(self, name: str = "unified") -> Ontology:

@@ -58,6 +58,12 @@ class MiniWordNet:
     def __init__(self, synsets: Iterable[Synset] = ()) -> None:
         self._synsets: dict[str, Synset] = {}
         self._by_lemma: dict[str, set[str]] = {}
+        # Memoized derived data, keyed per synset / normalized lemma.
+        # SKAT's matchers hammer hypernym_closure / synonyms / _depth
+        # in tight loops; each is computed once and invalidated on add.
+        self._closure_cache: dict[str, frozenset[str]] = {}
+        self._depth_cache: dict[str, int] = {}
+        self._synonym_cache: dict[str, frozenset[str]] = {}
         for synset in synsets:
             self.add(synset)
 
@@ -72,6 +78,12 @@ class MiniWordNet:
             self._by_lemma.setdefault(normalize_lemma(lemma), set()).add(
                 synset.synset_id
             )
+        # A new synset can extend any closure (it may sit under — or
+        # above, via its hypernym links — cached entries), so the
+        # memoized views are dropped wholesale.
+        self._closure_cache.clear()
+        self._depth_cache.clear()
+        self._synonym_cache.clear()
         return synset
 
     def add_synset(
@@ -111,18 +123,34 @@ class MiniWordNet:
         ids = self._by_lemma.get(normalize_lemma(term), ())
         return [self._synsets[sid] for sid in sorted(ids)]
 
+    def synset_ids(self, term: str) -> tuple[str, ...]:
+        """The sorted synset ids a term's normalized lemma belongs to.
+
+        The blocking key SKAT's matchers index candidates by.
+        """
+        return tuple(sorted(self._by_lemma.get(normalize_lemma(term), ())))
+
     def knows(self, term: str) -> bool:
         return normalize_lemma(term) in self._by_lemma
 
-    def synonyms(self, term: str) -> set[str]:
-        """All lemmas sharing a synset with ``term`` (excluding itself)."""
+    def synonyms(self, term: str) -> frozenset[str]:
+        """All lemmas sharing a synset with ``term`` (excluding itself).
+
+        Memoized per normalized lemma; invalidated when a synset is
+        added.
+        """
         norm = normalize_lemma(term)
+        cached = self._synonym_cache.get(norm)
+        if cached is not None:
+            return cached
         result: set[str] = set()
         for synset in self.synsets_for(term):
             result.update(synset.lemmas)
-        return {
+        frozen = frozenset(
             lemma for lemma in result if normalize_lemma(lemma) != norm
-        }
+        )
+        self._synonym_cache[norm] = frozen
+        return frozen
 
     def are_synonyms(self, term_a: str, term_b: str) -> bool:
         ids_a = self._by_lemma.get(normalize_lemma(term_a), set())
@@ -132,8 +160,14 @@ class MiniWordNet:
     # ------------------------------------------------------------------
     # hypernymy
     # ------------------------------------------------------------------
-    def hypernym_closure(self, synset_id: str) -> set[str]:
-        """All ancestors of a synset (excluding itself)."""
+    def hypernym_closure(self, synset_id: str) -> frozenset[str]:
+        """All ancestors of a synset (excluding itself).
+
+        Memoized per synset id; invalidated when a synset is added.
+        """
+        cached = self._closure_cache.get(synset_id)
+        if cached is not None:
+            return cached
         self.synset(synset_id)
         seen: set[str] = set()
         frontier = deque([synset_id])
@@ -143,7 +177,9 @@ class MiniWordNet:
                 if parent in self._synsets and parent not in seen:
                     seen.add(parent)
                     frontier.append(parent)
-        return seen
+        frozen = frozenset(seen)
+        self._closure_cache[synset_id] = frozen
+        return frozen
 
     def is_hyponym_of(self, specific: str, general: str) -> bool:
         """True iff some synset of ``specific`` descends from one of
@@ -159,8 +195,11 @@ class MiniWordNet:
         return False
 
     def _depth(self, synset_id: str) -> int:
-        closure = self.hypernym_closure(synset_id)
-        return len(closure)
+        cached = self._depth_cache.get(synset_id)
+        if cached is None:
+            cached = len(self.hypernym_closure(synset_id))
+            self._depth_cache[synset_id] = cached
+        return cached
 
     def similarity(self, term_a: str, term_b: str) -> float:
         """Wu-Palmer-style similarity in [0, 1]; 0 when unrelated.

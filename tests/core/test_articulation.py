@@ -356,3 +356,121 @@ class TestStructureInheritance:
         art = generator.generate(ArticulationRuleSet())
         with pytest.raises(ArticulationError):
             generator.inherit_structure(art, "nowhere")
+
+
+class TestVersionStampCaching:
+    """The version-stamped unified-graph / covered-term caches."""
+
+    def test_unified_graph_cached_until_change(
+        self, transport: Articulation
+    ) -> None:
+        first = transport.unified_graph()
+        second = transport.unified_graph()
+        assert second is first
+        assert transport.cache_stats["unified_hits"] >= 1
+        assert transport.cache_stats["unified_misses"] == 1
+
+    def test_extend_invalidates_unified_cache(
+        self, transport: Articulation
+    ) -> None:
+        before = transport.unified_graph()
+        generator = ArticulationGenerator(
+            transport.sources.values(), name=transport.name
+        )
+        extra = ArticulationRuleSet()
+        extra.add(parse_rule("carrier:SUV => factory:Vehicle"))
+        generator.extend(transport, extra)
+        after = transport.unified_graph()
+        assert after is not before
+        assert after.has_edge(
+            "carrier:SUV", "SIBridge", "transport:Vehicle"
+        ) or after.edge_count() > before.edge_count()
+        # and the new graph is itself cached
+        assert transport.unified_graph() is after
+
+    def test_source_mutation_invalidates_unified_cache(
+        self, transport: Articulation
+    ) -> None:
+        before = transport.unified_graph()
+        transport.sources["carrier"].ensure_term("Hovercraft")
+        after = transport.unified_graph()
+        assert after is not before
+        assert after.has_node("carrier:Hovercraft")
+
+    def test_drop_dangling_bridges_bumps_version(
+        self, transport: Articulation
+    ) -> None:
+        transport.unified_graph()
+        version = transport.version
+        transport.sources["carrier"].remove_term("Car")
+        dropped = transport.drop_dangling_bridges()
+        assert dropped > 0
+        assert transport.version > version
+        assert not transport.unified_graph().has_node("carrier:Car")
+
+    def test_covered_source_terms_cached(
+        self, transport: Articulation
+    ) -> None:
+        first = transport.covered_source_terms()
+        second = transport.covered_source_terms()
+        assert second == first
+        assert transport.cache_stats["covered_hits"] >= 1
+        # The cache hands out copies: mutating one must not leak.
+        second.add("carrier:Bogus")
+        assert "carrier:Bogus" not in transport.covered_source_terms()
+
+    def test_fingerprint_moves_with_each_layer(
+        self, transport: Articulation
+    ) -> None:
+        fp0 = transport.fingerprint()
+        transport.bump_version()
+        fp1 = transport.fingerprint()
+        assert fp1 != fp0
+        transport.sources["factory"].ensure_term("Depot")
+        fp2 = transport.fingerprint()
+        assert fp2 != fp1
+        transport.ontology.ensure_term("Extra")
+        assert transport.fingerprint() != fp2
+
+    def test_repeated_algebra_ops_share_cached_graph(
+        self, transport: Articulation
+    ) -> None:
+        from repro.core.algebra import difference
+
+        carrier = transport.sources["carrier"]
+        factory = transport.sources["factory"]
+        transport.cache_stats.clear()
+        difference(carrier, factory, transport)
+        difference(factory, carrier, transport)
+        difference(carrier, factory, transport)
+        assert transport.cache_stats.get("unified_misses", 0) == 1
+        assert transport.cache_stats.get("unified_hits", 0) >= 2
+
+    def test_match_index_rides_cached_unified_graph(
+        self, transport: Articulation
+    ) -> None:
+        from repro.core.patterns import MatchConfig
+
+        config = MatchConfig(case_insensitive=True)
+        index1 = transport.match_index(config)
+        index2 = transport.match_index(config)
+        assert index2 is index1
+        transport.sources["carrier"].ensure_term("Gyrocopter")
+        index3 = transport.match_index(config)
+        assert index3 is not index1
+
+    def test_equal_count_bridge_swap_invalidates_cache(
+        self, transport: Articulation
+    ) -> None:
+        """Swapping one bridge for another (same count) must not serve
+        a stale unified graph — the fingerprint hashes bridge content."""
+        before = transport.unified_graph()
+        old = next(iter(transport.bridges))
+        new = Edge("carrier:SUV", "SIBridge", "transport:Vehicle")
+        assert new not in transport.bridges
+        transport.bridges.discard(old)
+        transport.bridges.add(new)
+        after = transport.unified_graph()
+        assert after is not before
+        assert after.has_edge(new.source, new.label, new.target)
+        assert not after.has_edge(old.source, old.label, old.target)

@@ -202,3 +202,35 @@ class TestSemanticChecks:
         report = maintainer.apply_source_changes("carrier", ["Scooter"])
         assert report.inference_mode == ""  # no repair, no refresh
         assert engine.fact_count() == facts_before
+
+
+class TestClassificationCaching:
+    def test_repeated_classify_hits_covered_cache(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        transport.cache_stats.clear()
+        maintainer.classify("carrier", ["SUV"])
+        maintainer.classify("carrier", ["Driver", "Car"])
+        maintainer.classify("factory", ["Vehicle"])
+        assert transport.cache_stats.get("covered_misses", 0) == 1
+        assert transport.cache_stats.get("covered_hits", 0) == 2
+
+    def test_repair_invalidates_covered_cache(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        free, affected = maintainer.classify("carrier", ["Car"])
+        assert affected == {"Car"}
+        transport.sources["carrier"].remove_term("Car")
+        maintainer.apply_source_changes("carrier", ["Car"])
+        free, affected = maintainer.classify("carrier", ["Car"])
+        assert affected == set()  # repair dropped every Car bridge
+
+    def test_noop_refresh_after_repairless_verify(
+        self, maintainer: ArticulationMaintainer
+    ) -> None:
+        engine = maintainer.inference_engine()
+        maintainer.semantic_verify()
+        first_mode = engine.last_refresh["mode"]
+        assert first_mode in ("noop", "incremental")
+        maintainer.semantic_verify()
+        assert engine.last_refresh["mode"] == "noop"

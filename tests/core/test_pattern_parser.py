@@ -35,7 +35,7 @@ class TestPathForm:
         pattern = parse_pattern("carrier:Car")
         assert pattern.ontology == "carrier"
         assert [n.label for n in pattern.nodes()] == ["Car"]
-        assert pattern.edges() == []
+        assert pattern.edges() == ()
 
     def test_long_path(self) -> None:
         pattern = parse_pattern("o:a:b:c:d")

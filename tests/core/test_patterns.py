@@ -179,3 +179,176 @@ class TestFuzzyMatching:
         config = MatchConfig.strict()
         assert not config.case_insensitive
         assert not config.relax_edge_labels
+
+
+class TestSynonymClosure:
+    def test_transitive_chain_closes(self, graph: LabeledGraph) -> None:
+        """a~b plus b~c must let a match c without restating the pair."""
+        config = MatchConfig.with_synonyms(
+            [("Automobile", "Motorcar"), ("Motorcar", "Car")]
+        )
+        # 'Automobile' reaches the graph's 'Car' through the chain.
+        assert matches(Pattern.single("Automobile"), graph, config)
+        assert config.synonyms["Automobile"] == frozenset(
+            {"Motorcar", "Car"}
+        )
+        assert config.synonyms["Car"] == frozenset(
+            {"Motorcar", "Automobile"}
+        )
+
+    def test_closure_spans_components_independently(self) -> None:
+        config = MatchConfig.with_synonyms(
+            [("a", "b"), ("b", "c"), ("x", "y")]
+        )
+        assert config.synonyms["a"] == frozenset({"b", "c"})
+        assert config.synonyms["x"] == frozenset({"y"})
+        assert "a" not in config.synonyms["x"]
+
+
+class TestDeterministicEnumeration:
+    def test_candidates_enumerate_sorted(self) -> None:
+        g = LabeledGraph()
+        for node in ("z9", "m5", "a1", "k3"):
+            g.add_node(node, "Same")
+        pattern = Pattern.single("Same")
+        for strategy in ("indexed", "scan"):
+            found = [
+                b["n0"]
+                for b in find_matches(pattern, g, strategy=strategy)
+            ]
+            assert found == sorted(found) == ["a1", "k3", "m5", "z9"]
+
+    def test_wildcard_enumerates_sorted(self) -> None:
+        g = LabeledGraph()
+        for node in ("w", "b", "q", "d"):
+            g.add_node(node)
+        pattern = Pattern()
+        pattern.add_node("x", None, "X")
+        for strategy in ("indexed", "scan"):
+            found = [
+                b.var("X")
+                for b in find_matches(pattern, g, strategy=strategy)
+            ]
+            assert found == ["b", "d", "q", "w"]
+
+    def test_unknown_strategy_rejected(self, graph: LabeledGraph) -> None:
+        with pytest.raises(PatternError):
+            list(find_matches(Pattern.single("Car"), graph,
+                              strategy="psychic"))
+
+
+class TestNonCopyingAccessors:
+    def test_nodes_and_edges_are_cached_tuples(self) -> None:
+        pattern = Pattern.path(["Car", "Cars"], edge_label="S")
+        assert pattern.nodes() is pattern.nodes()
+        assert pattern.edges() is pattern.edges()
+        assert isinstance(pattern.nodes(), tuple)
+        assert isinstance(pattern.edges(), tuple)
+
+    def test_cache_invalidated_on_growth(self) -> None:
+        pattern = Pattern()
+        pattern.add_node("a", "Car")
+        nodes_before = pattern.nodes()
+        edges_before = pattern.edges()
+        pattern.add_node("b", "Cars")
+        pattern.add_edge("a", "S", "b")
+        assert len(pattern.nodes()) == 2
+        assert len(pattern.edges()) == 1
+        assert pattern.nodes() is not nodes_before
+        assert pattern.edges() is not edges_before
+
+
+class TestScanBaselineParity:
+    def test_node_id_colliding_with_label_keeps_candidates(self) -> None:
+        """Regression: the scan path skipped any graph label that
+        happened to equal a node id already collected, dropping valid
+        fuzzy candidates and diverging from the indexed strategy."""
+        g = LabeledGraph()
+        g.add_node("car", "CAR")  # node id 'car' collides with...
+        g.add_node("n1", "car")   # ...this node's label
+        pattern = Pattern.single("CAR")
+        config = MatchConfig(case_insensitive=True)
+        results = {
+            strategy: sorted(
+                b["n0"]
+                for b in find_matches(pattern, g, config, strategy=strategy)
+            )
+            for strategy in ("indexed", "scan")
+        }
+        assert results["scan"] == results["indexed"] == ["car", "n1"]
+
+
+class TestMatchIndexCaching:
+    def test_index_reused_for_same_graph_and_config(
+        self, graph: LabeledGraph
+    ) -> None:
+        from repro.core.patterns import MatchIndex
+
+        config = MatchConfig(case_insensitive=True)
+        index1 = MatchIndex.for_graph(graph, config)
+        index2 = MatchIndex.for_graph(graph, config)
+        assert index2 is index1
+
+    def test_index_rebuilt_after_mutation(self, graph: LabeledGraph) -> None:
+        from repro.core.patterns import MatchIndex
+
+        config = MatchConfig(case_insensitive=True)
+        index1 = MatchIndex.for_graph(graph, config)
+        assert "Car" in index1.candidates("car")
+        graph.add_node("CAR2", "CAR")
+        index2 = MatchIndex.for_graph(graph, config)
+        assert index2 is not index1
+        assert "CAR2" in index2.candidates("car")
+
+    def test_distinct_configs_get_distinct_indexes(
+        self, graph: LabeledGraph
+    ) -> None:
+        from repro.core.patterns import MatchIndex
+
+        strict = MatchConfig.strict()
+        fuzzy = MatchConfig(case_insensitive=True)
+        assert MatchIndex.for_graph(graph, strict) is not MatchIndex.for_graph(
+            graph, fuzzy
+        )
+        assert MatchIndex.for_graph(graph, strict).candidates("car") == ()
+        assert MatchIndex.for_graph(graph, fuzzy).candidates("car") == ("Car",)
+
+    def test_default_config_shares_one_index(self) -> None:
+        """Config-less calls must reuse one strict index, not churn the
+        cache with a fresh config per call."""
+        g = LabeledGraph()
+        g.add_node("Car")
+        before = len(g._match_indexes)
+        for _ in range(20):
+            list(find_matches(Pattern.single("Car"), g))
+        assert len(g._match_indexes) <= before + 1
+
+    def test_value_equal_configs_share_one_index(self) -> None:
+        """A fresh-but-equal MatchConfig per call (idiomatic for a
+        frozen dataclass) must hit the same cached index, not rebuild
+        and churn the cache."""
+        from repro.core.patterns import MatchIndex
+
+        g = LabeledGraph()
+        g.add_node("Car")
+        g._match_indexes.clear()
+        first = MatchIndex.for_graph(g, MatchConfig(case_insensitive=True))
+        for _ in range(20):
+            config = MatchConfig(case_insensitive=True)
+            assert MatchIndex.for_graph(g, config) is first
+        assert len(g._match_indexes) == 1
+
+    def test_eviction_drops_one_entry_not_all(self) -> None:
+        from repro.core.patterns import MatchIndex
+
+        g = LabeledGraph()
+        g.add_node("Car")
+        g._match_indexes.clear()
+        configs = [MatchConfig.with_synonyms([("car", f"auto{i}")])
+                   for i in range(MatchIndex._CACHE_LIMIT)]
+        indexes = [MatchIndex.for_graph(g, c) for c in configs]
+        overflow = MatchConfig(relax_edge_labels=True)
+        MatchIndex.for_graph(g, overflow)
+        # Only the oldest entry was evicted; the rest stay warm.
+        assert MatchIndex.for_graph(g, configs[-1]) is indexes[-1]
+        assert len(g._match_indexes) == MatchIndex._CACHE_LIMIT

@@ -9,6 +9,7 @@ from repro.core.ontology import Ontology
 from repro.core.rules import ImplicationRule
 from repro.errors import ContradictionError
 from repro.inference.engine import OntologyInferenceEngine
+from repro.workloads.paper_example import generate_transport_articulation
 
 
 @pytest.fixture
@@ -252,3 +253,62 @@ class TestIncrementalRefresh:
         )
         assert engine.implies("carrier:Car", "factory:Vehicle")
         assert engine.derived_rules()
+
+
+class TestNoopRefresh:
+    """The version-stamp fast path: refreshing an unchanged
+    articulation skips program re-extraction entirely."""
+
+    def test_unchanged_articulation_is_noop(
+        self, transport: Articulation
+    ) -> None:
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        refresh = engine.refresh_from_articulation(transport)
+        assert refresh["mode"] == "noop"
+        assert refresh["added"] == 0
+
+    def test_noop_skips_program_extraction(
+        self, transport: Articulation, monkeypatch
+    ) -> None:
+        engine = OntologyInferenceEngine.from_articulation(transport)
+
+        def boom(articulation):  # pragma: no cover - must not run
+            raise AssertionError("program re-extracted on a no-op refresh")
+
+        monkeypatch.setattr(engine, "_articulation_program", boom)
+        assert engine.refresh_from_articulation(transport)["mode"] == "noop"
+
+    def test_version_bump_defeats_noop(self, transport: Articulation) -> None:
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        transport.bump_version()
+        refresh = engine.refresh_from_articulation(transport)
+        assert refresh["mode"] == "incremental"
+        assert refresh["added"] == 0  # nothing actually changed
+
+    def test_source_growth_defeats_noop(
+        self, transport: Articulation
+    ) -> None:
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        carrier = transport.sources["carrier"]
+        carrier.ensure_term("Tricycle")
+        carrier.add_subclass("Tricycle", "Cars")
+        refresh = engine.refresh_from_articulation(transport)
+        assert refresh["mode"] == "incremental"
+        assert refresh["added"] >= 1
+        assert engine.implies("carrier:Tricycle", "carrier:Cars")
+
+    def test_different_articulation_object_never_noop(
+        self, transport: Articulation
+    ) -> None:
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        other = generate_transport_articulation()
+        refresh = engine.refresh_from_articulation(other)
+        assert refresh["mode"] != "noop"
+
+    def test_stamp_pins_articulation_object(
+        self, transport: Articulation
+    ) -> None:
+        """The noop stamp holds the articulation itself (not its id),
+        so a recycled address can never false-match."""
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        assert engine._stamp_articulation is transport

@@ -174,6 +174,44 @@ class TestSkatEngine:
         )
         assert first[0].key() not in {c.key() for c in excluded}
 
+    def test_seed_matchers_run_once_per_propose(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        """The structural matcher reuses the pipeline's seed proposals
+        instead of re-running the shared exact/synonym matchers."""
+        engine = SkatEngine.default()
+        calls: dict[str, int] = {}
+        for matcher in engine.matchers:
+            original = matcher.propose
+
+            def counted(o1, o2, *, _orig=original, _name=matcher.name, **kw):
+                calls[_name] = calls.get(_name, 0) + 1
+                return _orig(o1, o2, **kw)
+
+            matcher.propose = counted  # type: ignore[method-assign]
+        engine.propose(left, right)
+        assert all(count == 1 for count in calls.values()), calls
+
+    def test_seed_reuse_preserves_proposals(
+        self, left: Ontology, right: Ontology
+    ) -> None:
+        """Handing seed proposals over must not change the output."""
+        engine = SkatEngine.default()
+        via_engine = [c.key() for c in engine.propose(left, right)]
+        standalone = StructuralMatcher(seeds=engine.matchers[:2])
+        direct = standalone.propose(left, right)
+        structural = engine.matchers[-1].propose(
+            left,
+            right,
+            seed_candidates=[
+                c
+                for seed in engine.matchers[:2]
+                for c in seed.propose(left, right)
+            ],
+        )
+        assert {c.key() for c in structural} == {c.key() for c in direct}
+        assert via_engine  # the pipeline still proposes
+
 
 class TestExpertLoop:
     def test_accept_all_converges(

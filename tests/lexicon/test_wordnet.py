@@ -159,3 +159,54 @@ class TestSerialization:
             "PoundSterling", "transportation", "goods", "weight", "buyer",
         ):
             assert lexicon.knows(term), term
+
+
+class TestMemoization:
+    def test_hypernym_closure_memoized(self) -> None:
+        lex = seed_lexicon()
+        first = lex.hypernym_closure("car.n.01")
+        second = lex.hypernym_closure("car.n.01")
+        assert second is first  # cached frozenset, not a recomputation
+        assert "vehicle.n.01" in first
+
+    def test_add_invalidates_closure_cache(self) -> None:
+        lex = seed_lexicon()
+        before = lex.hypernym_closure("car.n.01")
+        lex.add_synset(
+            "hatchback.n.01", ["hatchback"], hypernyms=["car.n.01"]
+        )
+        closure = lex.hypernym_closure("hatchback.n.01")
+        assert "car.n.01" in closure
+        assert "vehicle.n.01" in closure
+        # the old entry was recomputed, not served stale
+        assert lex.hypernym_closure("car.n.01") == before
+
+    def test_synonyms_memoized_and_invalidated(self) -> None:
+        lex = seed_lexicon()
+        first = lex.synonyms("car")
+        assert lex.synonyms("car") is first
+        assert "automobile" in first
+        lex.add_synset("car_extra.n.01", ["car", "jalopy"])
+        assert "jalopy" in lex.synonyms("car")
+
+    def test_depth_consistent_with_closure(self) -> None:
+        lex = seed_lexicon()
+        assert lex._depth("car.n.01") == len(lex.hypernym_closure("car.n.01"))
+        lex.add_synset("kart.n.01", ["go-kart"], hypernyms=["car.n.01"])
+        assert lex._depth("kart.n.01") == len(
+            lex.hypernym_closure("kart.n.01")
+        )
+
+    def test_similarity_unchanged_by_memoization(self) -> None:
+        lex = seed_lexicon()
+        cold = MiniWordNet.from_dict(lex.to_dict())
+        pairs = [
+            ("car", "truck"),
+            ("car", "vehicle"),
+            ("euro", "guilder"),
+            ("car", "warehouse"),
+        ]
+        warm = [lex.similarity(a, b) for a, b in pairs]
+        warm_again = [lex.similarity(a, b) for a, b in pairs]
+        fresh = [cold.similarity(a, b) for a, b in pairs]
+        assert warm == warm_again == fresh
