@@ -29,9 +29,15 @@ The maintainer also keeps one :class:`OntologyInferenceEngine` alive
 across passes for semantic checks (disjointness violations, §1's
 articulation errors): free changes leave it untouched, and after a
 repair it is *refreshed* — the engine diffs the repaired program
-against what it has loaded and pushes only new facts through the Horn
-evaluator's incremental delta propagation, falling back to a rebuild
-only when facts disappeared.
+against what it has loaded, pushes new facts through the Horn
+evaluator's incremental delta propagation, and queues disappeared
+facts (dropped bridges, dropped rules, shed source edges) as
+*retractions* for the DRed overdelete/rederive pass
+(``inference_mode == "retract"``).  A repair that only removes
+bridges never re-walks the unchanged source graphs either: program
+extraction is cached per graph version, so the fingerprint path
+serves the retraction delta from the bridge/rule diff alone.  A full
+rebuild happens only when the axiom set itself changed.
 """
 
 from __future__ import annotations
@@ -62,7 +68,8 @@ class MaintenanceReport:
     dropped_bridges: int = 0
     replayed_rules: int = 0
     repair_ops: int = 0
-    inference_mode: str = ""  # ""/"initial"/"incremental"/"rebuild"
+    # ""/"initial"/"incremental"/"retract"/"replay"/"rebuild"
+    inference_mode: str = ""
 
     @property
     def required_work(self) -> bool:
@@ -162,7 +169,7 @@ class ArticulationMaintainer:
 
         Built on first use and *refreshed* — not rebuilt — after
         repairs: additions flow through the Horn engine's incremental
-        delta propagation.
+        delta propagation, removals through its DRed retraction pass.
         """
         if self._engine is None:
             from repro.inference.engine import OntologyInferenceEngine

@@ -53,6 +53,7 @@ class GoalDirectedEngine:
         self.strategy = strategy
         self._store = FactStore()  # master base facts, indexes shared
         self._clauses: list[HornClause] = []
+        self._clause_set: set[HornClause] = set()
         # predicate -> predicates its derivation may depend on (direct)
         self._depends: dict[str, set[str]] = defaultdict(set)
         # memo: frozen relevant-predicate set -> saturated sub-engine
@@ -73,10 +74,29 @@ class GoalDirectedEngine:
     def add_facts(self, atoms: Iterable[Atom]) -> int:
         return sum(1 for atom in atoms if self.add_fact(atom))
 
+    def remove_fact(self, atom: Atom) -> bool:
+        """Retract a base fact from the master store.
+
+        Every memoized slice overlays the master store, so a shrink
+        invalidates them all: the next goal rebuilds its slice against
+        the surviving base facts — by construction equal to
+        saturating the shrunk program from scratch.
+        """
+        if not self._store.remove(atom):
+            return False
+        self._slices.clear()
+        return True
+
+    def remove_facts(self, atoms: Iterable[Atom]) -> int:
+        return sum(1 for atom in atoms if self.remove_fact(atom))
+
     def add_clause(self, clause: HornClause) -> None:
         if not clause.body:
             self.add_fact(clause.head)
             return
+        if clause in self._clause_set:
+            return  # duplicates only repeat work (HornEngine parity)
+        self._clause_set.add(clause)
         self._clauses.append(clause)
         for atom in clause.body:
             self._depends[clause.head[0]].add(atom[0])
@@ -85,6 +105,21 @@ class GoalDirectedEngine:
     def add_clauses(self, clauses: Iterable[HornClause]) -> None:
         for clause in clauses:
             self.add_clause(clause)
+
+    def retract_clause(self, clause: HornClause) -> bool:
+        """Remove a clause from the program (and invalidate slices)."""
+        if not clause.body:
+            return self.remove_fact(clause.head)
+        if clause not in self._clause_set:
+            return False
+        self._clause_set.discard(clause)
+        self._clauses.remove(clause)
+        self._depends = defaultdict(set)
+        for remaining in self._clauses:
+            for atom in remaining.body:
+                self._depends[remaining.head[0]].add(atom[0])
+        self._slices.clear()
+        return True
 
     # ------------------------------------------------------------------
     # relevance slicing

@@ -31,6 +31,16 @@ ideas:
   deltas; the next query propagates only those deltas through the
   strata instead of re-running saturation from scratch.  The result is
   guaranteed (and property-tested) to equal from-scratch saturation.
+* **Incremental retraction (DRed)**: :meth:`HornEngine.retract_fact` /
+  :meth:`HornEngine.retract_clause` queue deletions; the next query
+  *overdeletes* the downstream cone of the retracted facts using the
+  same compiled per-delta join plans, then *rederives* the survivors —
+  overdeleted facts with an alternate proof among the remaining facts
+  — via a head-bound support check per clause followed by semi-naive
+  re-saturation restricted to the overdeleted set.  Work scales with
+  the retraction's cone, not the database, and the result is
+  property-tested equal to from-scratch saturation over the surviving
+  base facts.
 
 Semi-naive rounds follow the textbook *old/new* discipline: for a
 clause with body atoms ``b_1 .. b_n`` and round delta ``Δ ⊆ F``, the
@@ -141,10 +151,30 @@ class FactStore:
     base store (restricted to ``visible`` predicates) plus the local
     facts, writes land locally.  Goal-directed slices use this to share
     the master store's indexes while keeping their derived facts
-    private.  The base store must not shrink while overlays exist.
+    private.
+
+    Pools and index buckets are insertion-ordered dicts, so
+    :meth:`remove` maintains every index in O(arity) without scanning.
+    Removing a fact that is only *visible* through the base store
+    records a tombstone in the overlay's deletion delta — reads filter
+    it out, the base store itself is untouched, and a later :meth:`add`
+    of the same atom just lifts the tombstone.  The engine's own DRed
+    pass never tombstones (overlay-supplied facts are extensional and
+    shielded from overdeletion); the deletion delta is API surface for
+    external overlay owners, and tombstone-free overlays pay only a
+    counter lookup on the read path.
     """
 
-    __slots__ = ("_base", "_visible", "_facts", "_by_pred", "_index")
+    __slots__ = (
+        "_base",
+        "_visible",
+        "_facts",
+        "_by_pred",
+        "_index",
+        "_deleted",
+        "_deleted_by_pred",
+        "_deleted_by_key",
+    )
 
     def __init__(
         self,
@@ -155,8 +185,12 @@ class FactStore:
         self._base = base
         self._visible = visible
         self._facts: set[Atom] = set()
-        self._by_pred: dict[str, list[Atom]] = {}
-        self._index: dict[tuple[str, int, str], list[Atom]] = {}
+        self._by_pred: dict[str, dict[Atom, None]] = {}
+        self._index: dict[tuple[str, int, str], dict[Atom, None]] = {}
+        # deletion delta over the (read-only) base store
+        self._deleted: set[Atom] = set()
+        self._deleted_by_pred: dict[str, int] = {}
+        self._deleted_by_key: dict[tuple[str, int, str], int] = {}
 
     def _sees(self, predicate: str) -> bool:
         return self._base is not None and (
@@ -166,61 +200,155 @@ class FactStore:
     def __contains__(self, atom: Atom) -> bool:
         if atom in self._facts:
             return True
-        return self._sees(atom[0]) and atom in self._base
+        return (
+            self._sees(atom[0])
+            and atom in self._base
+            and atom not in self._deleted
+        )
 
     def __len__(self) -> int:
         total = len(self._facts)
         if self._base is not None:
             if self._visible is None:
-                total += len(self._base)
+                total += len(self._base) - len(self._deleted)
             else:
                 total += sum(
-                    self._base.pool_size(p) for p in self._visible
+                    self._base.pool_size(p)
+                    - self._deleted_by_pred.get(p, 0)
+                    for p in self._visible
                 )
         return total
 
     def add(self, atom: Atom) -> bool:
         """Insert a ground fact; False if already present (or visible)."""
-        if atom in self:
+        if atom in self._facts:
+            return False
+        if self._sees(atom[0]) and atom in self._base:
+            if atom in self._deleted:
+                self._lift_tombstone(atom)
+                return True
             return False
         self._facts.add(atom)
         predicate = atom[0]
         pool = self._by_pred.get(predicate)
         if pool is None:
-            pool = self._by_pred[predicate] = []
-        pool.append(atom)
+            pool = self._by_pred[predicate] = {}
+        pool[atom] = None
         index = self._index
         for position in range(1, len(atom)):
             key = (predicate, position, atom[position])
             bucket = index.get(key)
             if bucket is None:
-                index[key] = [atom]
+                index[key] = {atom: None}
             else:
-                bucket.append(atom)
+                bucket[atom] = None
         return True
+
+    def remove(self, atom: Atom) -> bool:
+        """Delete a fact, maintaining every index; False if absent.
+
+        Local facts are unlinked from their pool and index buckets in
+        O(arity); facts visible through the base store get a tombstone
+        in the deletion delta instead (the base is shared, read-only).
+        """
+        if atom in self._facts:
+            self._facts.discard(atom)
+            predicate = atom[0]
+            pool = self._by_pred[predicate]
+            del pool[atom]
+            if not pool:
+                del self._by_pred[predicate]
+            index = self._index
+            for position in range(1, len(atom)):
+                key = (predicate, position, atom[position])
+                bucket = index[key]
+                del bucket[atom]
+                if not bucket:
+                    del index[key]
+            return True
+        if (
+            self._sees(atom[0])
+            and atom in self._base
+            and atom not in self._deleted
+        ):
+            self._deleted.add(atom)
+            predicate = atom[0]
+            self._deleted_by_pred[predicate] = (
+                self._deleted_by_pred.get(predicate, 0) + 1
+            )
+            for position in range(1, len(atom)):
+                key = (predicate, position, atom[position])
+                self._deleted_by_key[key] = (
+                    self._deleted_by_key.get(key, 0) + 1
+                )
+            return True
+        return False
+
+    def _lift_tombstone(self, atom: Atom) -> None:
+        self._deleted.discard(atom)
+        predicate = atom[0]
+        remaining = self._deleted_by_pred[predicate] - 1
+        if remaining:
+            self._deleted_by_pred[predicate] = remaining
+        else:
+            del self._deleted_by_pred[predicate]
+        for position in range(1, len(atom)):
+            key = (predicate, position, atom[position])
+            count = self._deleted_by_key[key] - 1
+            if count:
+                self._deleted_by_key[key] = count
+            else:
+                del self._deleted_by_key[key]
+
+    def in_base(self, atom: Atom) -> bool:
+        """Is this fact supplied by the (read-only) base overlay?
+
+        True even when locally tombstoned — the base still asserts it.
+        """
+        return self._sees(atom[0]) and atom in self._base
+
+    def _base_view(
+        self, base_facts: Iterable[Atom], tombstones: int
+    ) -> Iterable[Atom]:
+        """A base-store read with this overlay's deletion delta applied
+        (pass-through when nothing relevant is tombstoned)."""
+        if not tombstones:
+            return base_facts
+        deleted = self._deleted
+        return (f for f in base_facts if f not in deleted)
 
     def pool(self, predicate: str) -> Iterator[Atom]:
         """All facts of one predicate (base first, then local)."""
         if self._sees(predicate):
-            yield from self._base.pool(predicate)
+            yield from self._base_view(
+                self._base.pool(predicate),
+                self._deleted_by_pred.get(predicate, 0),
+            )
         yield from self._by_pred.get(predicate, ())
 
     def pool_size(self, predicate: str) -> int:
         size = len(self._by_pred.get(predicate, ()))
         if self._sees(predicate):
-            size += self._base.pool_size(predicate)
+            size += self._base.pool_size(
+                predicate
+            ) - self._deleted_by_pred.get(predicate, 0)
         return size
 
     def probe(self, predicate: str, position: int, value: str) -> Iterator[Atom]:
         """Facts with ``value`` at ``position`` — one index bucket."""
         if self._sees(predicate):
-            yield from self._base.probe(predicate, position, value)
+            yield from self._base_view(
+                self._base.probe(predicate, position, value),
+                self._deleted_by_key.get((predicate, position, value), 0),
+            )
         yield from self._index.get((predicate, position, value), ())
 
     def probe_size(self, predicate: str, position: int, value: str) -> int:
         size = len(self._index.get((predicate, position, value), ()))
         if self._sees(predicate):
-            size += self._base.probe_size(predicate, position, value)
+            size += self._base.probe_size(
+                predicate, position, value
+            ) - self._deleted_by_key.get((predicate, position, value), 0)
         return size
 
     def predicates(self) -> set[str]:
@@ -229,7 +357,7 @@ class FactStore:
             base_preds = self._base.predicates()
             if self._visible is not None:
                 base_preds &= self._visible
-            preds |= base_preds
+            preds |= {p for p in base_preds if self.pool_size(p)}
         return preds
 
     def iter_facts(self, predicate: str | None = None) -> Iterator[Atom]:
@@ -238,10 +366,15 @@ class FactStore:
             return
         if self._base is not None:
             if self._visible is None:
-                yield from self._base.iter_facts()
+                preds = self._base.predicates()
             else:
-                for pred in self._visible:
-                    yield from self._base.pool(pred)
+                preds = self._visible
+            for pred in preds:
+                if self._sees(pred):
+                    yield from self._base_view(
+                        self._base.pool(pred),
+                        self._deleted_by_pred.get(pred, 0),
+                    )
         yield from self._facts
 
 
@@ -294,6 +427,10 @@ class CompiledClause:
     body_preds: frozenset[str]
     full_plan: _JoinPlan
     delta_plans: tuple[_JoinPlan, ...]
+    # join plan with the head variables pre-bound: given a ground head,
+    # checks in one backward pass whether any body instantiation still
+    # supports it (the DRed rederivation probe).
+    support_plan: _JoinPlan
 
 
 def _analyze_atom(
@@ -336,17 +473,22 @@ def _atom_vars(atom: Atom) -> set[str]:
 
 
 def _order_atoms(
-    body: tuple[Atom, ...], first: int | None
+    body: tuple[Atom, ...],
+    first: int | None,
+    initial_bound: frozenset[str] = frozenset(),
 ) -> list[int]:
     """Greedy join order: most-bound, most-selective atom next.
 
     ``first`` pins the delta atom to the front (it is the small set).
-    Ties fall back to the original body order, which keeps plans
-    deterministic.
+    ``initial_bound`` seeds the bound-variable set (support plans start
+    with the head variables bound).  Ties fall back to the original
+    body order, which keeps plans deterministic.
     """
     remaining = [i for i in range(len(body)) if i != first]
     ordered = [] if first is None else [first]
-    bound: set[str] = set() if first is None else _atom_vars(body[first])
+    bound: set[str] = set(initial_bound)
+    if first is not None:
+        bound |= _atom_vars(body[first])
     while remaining:
         def score(i: int) -> tuple[int, int, int]:
             atom = body[i]
@@ -370,10 +512,11 @@ def _build_plan(
     clause: HornClause,
     slot_of: dict[str, int],
     delta_index: int | None,
+    initial_bound: frozenset[str] = frozenset(),
 ) -> _JoinPlan:
-    order = _order_atoms(clause.body, delta_index)
+    order = _order_atoms(clause.body, delta_index, initial_bound)
     steps: list[_Step] = []
-    bound: set[str] = set()
+    bound: set[str] = set(initial_bound)
     for atom_index in order:
         atom = clause.body[atom_index]
         if delta_index is None:
@@ -420,6 +563,9 @@ def compile_clause(clause: HornClause) -> CompiledClause:
     head_parts: list[object] = []
     for arg in clause.head[1:]:
         head_parts.append(slot_of[arg] if is_variable(arg) else arg)
+    head_vars = frozenset(
+        arg for arg in clause.head[1:] if is_variable(arg)
+    )
     compiled = CompiledClause(
         clause=clause,
         head_pred=clause.head[0],
@@ -431,6 +577,7 @@ def compile_clause(clause: HornClause) -> CompiledClause:
             _build_plan(clause, slot_of, i)
             for i in range(len(clause.body))
         ),
+        support_plan=_build_plan(clause, slot_of, None, head_vars),
     )
     _COMPILE_CACHE[clause] = compiled
     return compiled
@@ -522,6 +669,8 @@ def _new_stats(mode: str) -> dict[str, int | str]:
         "index_probes": 0,
         "candidates": 0,
         "derived": 0,
+        "overdeleted": 0,  # facts removed by the DRed overdelete pass
+        "rederived": 0,  # overdeleted facts restored by rederivation
     }
 
 
@@ -559,8 +708,19 @@ class HornEngine:
         self._compiled: list[CompiledClause] = []
         self._derivations: dict[Atom, Derivation] = {}
         self._saturated = False
+        # the asserted (extensional) facts: retraction semantics are
+        # defined against this set — the engine always answers as if
+        # saturated from scratch over exactly these facts.
+        self._base_facts: set[Atom] = set()
+        # False until evaluation first adds a derived fact: while the
+        # store holds only asserted facts, retraction is a plain
+        # store.remove instead of a replay or a DRed pass.
+        self._derived_ever = False
         self._pending_facts: list[Atom] = []
         self._pending_clauses: list[CompiledClause] = []
+        self._pending_retractions: list[Atom] = []
+        self._pending_clause_retractions: list[CompiledClause] = []
+        self._needs_rebuild = False
         self._strata: list[list[CompiledClause]] | None = None
         self.last_stats: dict[str, int | str] = _new_stats("idle")
 
@@ -587,10 +747,14 @@ class HornEngine:
         """Add a ground fact; returns False if it was already known.
 
         After a fixpoint, new facts are queued as deltas: the next
-        query propagates just them instead of re-saturating.
+        query propagates just them instead of re-saturating.  The atom
+        is recorded as a *base* fact either way — asserting a fact
+        that currently happens to be derived makes it survive the
+        retraction of its premises.
         """
         if not is_ground(atom):
             raise InferenceError(f"facts must be ground: {atom!r}")
+        self._base_facts.add(atom)
         if not self._store.add(atom):
             return False
         if self._saturated:
@@ -602,6 +766,81 @@ class HornEngine:
 
     def add_facts(self, atoms: Iterable[Atom]) -> int:
         return sum(1 for atom in atoms if self.add_fact(atom))
+
+    def retract_fact(self, atom: Atom) -> bool:
+        """Retract a base fact; returns False if it was never asserted.
+
+        Only *asserted* facts can be retracted (a derived fact holds
+        exactly as long as its premises do).  On a saturated semi-naive
+        engine the retraction is queued and the next query runs the
+        DRed overdelete/rederive pass; otherwise the engine replays
+        from its base facts on the next saturation.  A retracted fact
+        that is still derivable from the surviving base facts comes
+        back through rederivation.
+        """
+        if not is_ground(atom):
+            raise InferenceError(f"facts must be ground: {atom!r}")
+        if atom not in self._base_facts:
+            return False
+        self._base_facts.discard(atom)
+        if self._saturated and self.strategy == "seminaive":
+            self._pending_retractions.append(atom)
+        elif not self._derived_ever:
+            # Nothing has ever been derived: the store holds exactly
+            # the asserted facts, so unlink in place.  Facts the base
+            # overlay supplies stay visible (as in the DRed shield).
+            if not self._store.in_base(atom):
+                self._store.remove(atom)
+        else:
+            self._needs_rebuild = True
+        return True
+
+    def retract_facts(self, atoms: Iterable[Atom]) -> int:
+        return sum(1 for atom in atoms if self.retract_fact(atom))
+
+    def retract_clause(self, clause: HornClause) -> bool:
+        """Remove a clause; returns False if it was never added.
+
+        Facts only derivable through the clause are overdeleted (its
+        full join plan enumerates everything it ever concluded) and
+        survivors with alternate proofs are rederived, exactly like
+        fact retraction.  A clause still queued from
+        :meth:`add_clause` is simply dequeued — it never concluded
+        anything.
+        """
+        if not clause.body:
+            return self.retract_fact(clause.head)
+        if clause not in self._clause_set:
+            return False
+        self._clause_set.discard(clause)
+        position = self._clauses.index(clause)
+        del self._clauses[position]
+        compiled = self._compiled.pop(position)
+        self._strata = None
+        if compiled in self._pending_clauses:
+            self._pending_clauses.remove(compiled)
+            return True
+        if self._saturated and self.strategy == "seminaive":
+            self._pending_clause_retractions.append(compiled)
+        elif self._derived_ever:
+            self._needs_rebuild = True
+        # else: the clause never concluded anything — removal suffices
+        return True
+
+    def base_facts(self) -> set[Atom]:
+        """A fresh copy of the asserted (extensional) fact set."""
+        return set(self._base_facts)
+
+    @property
+    def is_saturated(self) -> bool:
+        """At a fixpoint that incremental deltas can repair in place.
+
+        False before the first saturation and after a retraction took
+        the replay-from-base fallback (naive strategy, unsaturated
+        engine) — in those states the next query runs a full
+        saturation, not delta propagation.
+        """
+        return self._saturated and not self._needs_rebuild
 
     def add_clause(self, clause: HornClause) -> None:
         if not clause.body:
@@ -666,11 +905,18 @@ class HornEngine:
         cc: CompiledClause,
         plan: _JoinPlan,
         delta: Mapping[str, set[Atom]] | None,
+        slots: list | None = None,
     ) -> Iterator[tuple[Atom, tuple[Atom, ...] | None]]:
-        """Yield ``(head, premises-in-body-order)`` for every join."""
+        """Yield ``(head, premises-in-body-order)`` for every join.
+
+        ``slots`` pre-binds variables (the support probe passes the
+        head binding); the plan must have been compiled with those
+        variables in its initial bound set.
+        """
         steps = plan.steps
         n_steps = len(steps)
-        slots: list = [None] * cc.nslots
+        if slots is None:
+            slots = [None] * cc.nslots
         premises: list = [None] * n_steps
         record = self.record_derivations
         stats = self.last_stats
@@ -785,6 +1031,8 @@ class HornEngine:
                         round_set.add(head)
                         round_new.append(head)
                         self._record_new(cc, head, premises)
+            if round_new:
+                self._derived_ever = True
             for fact in round_new:
                 store.add(fact)
             all_new.extend(round_new)
@@ -849,6 +1097,8 @@ class HornEngine:
                     round_set.add(head)
                     round_new.append(head)
                     self._record_new(cc, head, premises)
+            if round_new:
+                self._derived_ever = True
             for fact in round_new:
                 store.add(fact)
             derived_total += len(round_new)
@@ -866,7 +1116,9 @@ class HornEngine:
         order.  Equivalent to — and property-tested against — a
         from-scratch saturation."""
         store = self._store
-        seeds = self._pending_facts
+        # A pending fact can have been retracted (and overdeleted) in
+        # the same batch; only facts still standing propagate.
+        seeds = [f for f in self._pending_facts if f in store]
         new_clauses = self._pending_clauses
         self._pending_facts = []
         self._pending_clauses = []
@@ -879,6 +1131,7 @@ class HornEngine:
                 if head in store:
                     continue
                 store.add(head)
+                self._derived_ever = True
                 self._record_new(cc, head, premises)
                 seeds.append(head)
                 derived += 1
@@ -888,25 +1141,209 @@ class HornEngine:
         strata = self._schedule()
         self.last_stats["strata"] = len(strata)
         for stratum in strata:
-            body_preds: set[str] = set()
-            for cc in stratum:
-                body_preds |= cc.body_preds
-            delta0 = {
-                pred: by_pred[pred] for pred in body_preds if pred in by_pred
-            }
-            if not delta0:
-                continue
-            new, _ = self._eval_stratum(stratum, delta0)
-            derived += len(new)
-            for fact in new:
-                by_pred.setdefault(fact[0], set()).add(fact)
+            derived += self._push_stratum(stratum, by_pred)
         return derived
+
+    def _push_stratum(
+        self,
+        stratum: list[CompiledClause],
+        by_pred: dict[str, set[Atom]],
+    ) -> int:
+        """Propagate the accumulated deltas through one stratum.
+
+        Restricts ``by_pred`` to the stratum's body predicates, runs
+        the semi-naive rounds, folds the new conclusions back into
+        ``by_pred`` for downstream strata, and returns how many facts
+        the stratum derived.  Shared by incremental addition and the
+        DRed rederive pass so the delta discipline cannot diverge.
+        """
+        body_preds: set[str] = set()
+        for cc in stratum:
+            body_preds |= cc.body_preds
+        delta0 = {
+            pred: by_pred[pred] for pred in body_preds if pred in by_pred
+        }
+        if not delta0:
+            return 0
+        new, _ = self._eval_stratum(stratum, delta0)
+        for fact in new:
+            by_pred.setdefault(fact[0], set()).add(fact)
+        return len(new)
+
+    # ------------------------------------------------------------------
+    # incremental retraction (DRed: overdelete, then rederive)
+    # ------------------------------------------------------------------
+    def _first_support(
+        self, cc: CompiledClause, fact: Atom
+    ) -> tuple[Atom, ...] | None:
+        """One surviving body instantiation deriving ``fact``, or None.
+
+        Binds the clause head against the ground fact and runs the
+        compiled support plan (head variables pre-bound, so every step
+        starts from an index probe) through the shared join runtime,
+        stopping at the first match.  Returns the premises in body
+        order (``()`` when derivation recording is off); None means no
+        surviving proof.
+        """
+        if len(fact) != len(cc.clause.head):
+            return None
+        slots: list = [None] * cc.nslots
+        for part, value in zip(cc.head_parts, fact[1:]):
+            if part.__class__ is int:
+                bound = slots[part]
+                if bound is None:
+                    slots[part] = value
+                elif bound != value:
+                    return None
+            elif part != value:
+                return None
+        for _, premises in self._run_plan(cc, cc.support_plan, None, slots):
+            return premises if premises is not None else ()
+        return None
+
+    def _retract_pending(self) -> None:
+        """The DRed pass over the queued retractions.
+
+        *Overdelete*: the downstream cone of the retracted facts (and
+        every conclusion of a retracted clause), computed with the same
+        compiled per-delta join plans semi-naive rounds use — each
+        join enumerated once per round, against the not-yet-shrunk
+        store, so derivations through other to-be-deleted facts are
+        still seen.  Facts (re)asserted as base are never overdeleted.
+
+        *Rederive*: stratum by stratum in topological order, each
+        overdeleted fact with a surviving one-step proof (the
+        head-bound support probe) is restored and the restored set is
+        propagated semi-naive — restricted, by construction, to the
+        overdeleted set, since deletion cannot make new facts
+        derivable.
+        """
+        store = self._store
+        stats = self.last_stats
+        retracted = self._pending_retractions
+        retracted_clauses = self._pending_clause_retractions
+        self._pending_retractions = []
+        self._pending_clause_retractions = []
+
+        derivations = self._derivations
+
+        def shield(atom: Atom) -> bool:
+            """Extensional facts are never overdeleted — asserted on
+            this engine or supplied by the store's base overlay.  Their
+            recorded proof may cite facts this pass is deleting, so
+            they fall back to explaining themselves."""
+            if atom in self._base_facts or store.in_base(atom):
+                derivations.pop(atom, None)
+                return True
+            return False
+
+        frontier: set[Atom] = set()
+        for atom in retracted:
+            if shield(atom) or atom not in store:
+                continue
+            frontier.add(atom)
+        for cc in retracted_clauses:
+            # Materialized first: _run_plan iterates live store pools.
+            conclusions = list(self._run_plan(cc, cc.full_plan, None))
+            for head, _ in conclusions:
+                if head in store and not shield(head):
+                    frontier.add(head)
+
+        schedule: dict[str, list[tuple[CompiledClause, _JoinPlan]]] = {}
+        for cc in self._compiled:
+            for plan in cc.delta_plans:
+                schedule.setdefault(plan.delta_pred, []).append((cc, plan))
+
+        overdeleted: set[Atom] = set(frontier)
+        while frontier:
+            stats["rounds"] += 1
+            delta: dict[str, set[Atom]] = {}
+            for fact in frontier:
+                delta.setdefault(fact[0], set()).add(fact)
+            next_frontier: set[Atom] = set()
+            for pred in delta:
+                for cc, plan in schedule.get(pred, ()):
+                    stats["activations"] += 1
+                    for head, _ in self._run_plan(cc, plan, delta):
+                        if (
+                            head in overdeleted
+                            or head in next_frontier
+                            or shield(head)
+                            or head not in store
+                        ):
+                            continue
+                        next_frontier.add(head)
+            overdeleted |= next_frontier
+            frontier = next_frontier
+
+        for atom in overdeleted:
+            store.remove(atom)
+            self._derivations.pop(atom, None)
+        stats["overdeleted"] = len(overdeleted)
+        if not overdeleted or not self._compiled:
+            return
+
+        remaining: dict[str, list[Atom]] = {}
+        for atom in sorted(overdeleted):
+            remaining.setdefault(atom[0], []).append(atom)
+        by_head: dict[str, list[CompiledClause]] = {}
+        for cc in self._compiled:
+            by_head.setdefault(cc.head_pred, []).append(cc)
+
+        rederived = 0
+        by_pred: dict[str, set[Atom]] = {}
+        strata = self._schedule()
+        stats["strata"] = len(strata)
+        for stratum in strata:
+            seeds: list[Atom] = []
+            head_preds = sorted({cc.head_pred for cc in stratum})
+            for pred in head_preds:
+                for fact in remaining.get(pred, ()):
+                    if fact in store:
+                        continue
+                    for cc in by_head[pred]:
+                        premises = self._first_support(cc, fact)
+                        if premises is not None:
+                            store.add(fact)
+                            self._record_new(cc, fact, premises)
+                            seeds.append(fact)
+                            break
+            rederived += len(seeds)
+            for fact in seeds:
+                by_pred.setdefault(fact[0], set()).add(fact)
+            rederived += self._push_stratum(stratum, by_pred)
+        stats["rederived"] = rederived
+
+    def _reset_to_base(self) -> None:
+        """Replay the store from the asserted facts (retraction fallback
+        for naive / not-yet-saturated engines).
+
+        In place: the store object (possibly caller-supplied) keeps its
+        identity and any deletion tombstones an external overlay owner
+        recorded — only this engine's derived/retracted local facts
+        are unlinked.
+        """
+        store = self._store
+        for atom in [f for f in store._facts if f not in self._base_facts]:
+            store.remove(atom)
+        for atom in self._base_facts:
+            store.add(atom)
+        self._derivations = {}
+        self._saturated = False
+        self._derived_ever = False
+        self._pending_facts = []
+        self._pending_clauses = []
+        self._pending_retractions = []
+        self._pending_clause_retractions = []
+        self._needs_rebuild = False
 
     def saturate(self, *, max_rounds: int | None = None) -> int:
         """Run forward chaining; return the number of new facts.
 
         Unbounded (``max_rounds=None``) runs reach the fixpoint —
-        incrementally when only queued deltas are outstanding.
+        incrementally when only queued deltas are outstanding: queued
+        retractions run the DRed overdelete/rederive pass first
+        (``mode == "retract"``), then queued additions propagate.
         Bounded runs evaluate ``max_rounds`` flat snapshot rounds
         (facts derived in round *r* join in round *r + 1*), which makes
         the result identical under ``naive`` and ``seminaive``; the
@@ -914,6 +1351,14 @@ class HornEngine:
         the fixpoint.  Datalog saturation always terminates because
         the Herbrand base over the finite constants is finite.
         """
+        if self._needs_rebuild or (
+            max_rounds is not None
+            and (self._pending_retractions or self._pending_clause_retractions)
+        ):
+            # Retractions cannot fold into a bounded round-0 delta, and
+            # naive / unsaturated engines have no cone to chase: replay
+            # the store from the asserted facts and saturate fresh.
+            self._reset_to_base()
         if max_rounds is not None:
             self.last_stats = _new_stats("bounded")
             # Queued deltas fold into the bounded run's round-0 delta.
@@ -927,10 +1372,24 @@ class HornEngine:
             self.last_stats["derived"] = derived
             return derived
         if self._saturated:
-            if not self._pending_facts and not self._pending_clauses:
+            has_retractions = bool(
+                self._pending_retractions or self._pending_clause_retractions
+            )
+            if not (
+                has_retractions
+                or self._pending_facts
+                or self._pending_clauses
+            ):
                 return 0
-            self.last_stats = _new_stats("incremental")
-            derived = self._propagate_pending()
+            derived = 0
+            if has_retractions:
+                self.last_stats = _new_stats("retract")
+                self._retract_pending()
+                if self._pending_facts or self._pending_clauses:
+                    derived = self._propagate_pending()
+            else:
+                self.last_stats = _new_stats("incremental")
+                derived = self._propagate_pending()
         else:
             self.last_stats = _new_stats("full")
             self._pending_facts = []
@@ -946,8 +1405,11 @@ class HornEngine:
     def _ensure_current(self) -> None:
         if (
             not self._saturated
+            or self._needs_rebuild
             or self._pending_facts
             or self._pending_clauses
+            or self._pending_retractions
+            or self._pending_clause_retractions
         ):
             self.saturate()
 

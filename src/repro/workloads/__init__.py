@@ -1,7 +1,13 @@
 """Workloads: the paper's Fig. 2 example, synthetic ontology families,
 and the churn model for maintenance experiments."""
 
-from repro.workloads.churn import ChurnReport, Mutation, apply_churn
+from repro.workloads.churn import (
+    ChurnReport,
+    ChurnRunResult,
+    Mutation,
+    apply_churn,
+    run_churn_workload,
+)
 from repro.workloads.generator import (
     Concept,
     SyntheticWorkload,
@@ -22,6 +28,7 @@ from repro.workloads.paper_example import (
 __all__ = [
     "ARTICULATION_NAME",
     "ChurnReport",
+    "ChurnRunResult",
     "Concept",
     "EXPECTED_ARTICULATION_TERMS",
     "EXPECTED_BRIDGES",
@@ -35,4 +42,5 @@ __all__ = [
     "generate_transport_articulation",
     "generate_workload",
     "paper_rules",
+    "run_churn_workload",
 ]

@@ -12,6 +12,15 @@ reports exactly which terms each edit touched, so the maintenance
 benchmark can ask the articulation — via its covered-term set, i.e.
 the complement of the difference operator — whether the edit requires
 any articulation work at all.
+
+:func:`run_churn_workload` drives whole churn *campaigns* end to end:
+batches of source edits flow through the maintainer's classify/repair
+pass and into one long-lived inference engine whose refreshes go
+incremental for growth and through the DRed retraction pass for
+shrinkage — or, as the baseline, into a from-scratch engine rebuild
+per batch.  Both drivers answer the same deterministic probe queries,
+so a regression test can assert retraction ≡ rebuild over the full
+interleaving.
 """
 
 from __future__ import annotations
@@ -23,7 +32,13 @@ from repro.core.graph import Edge
 from repro.core.ontology import Ontology
 from repro.core.relations import SUBCLASS_OF
 
-__all__ = ["Mutation", "ChurnReport", "apply_churn"]
+__all__ = [
+    "Mutation",
+    "ChurnReport",
+    "ChurnRunResult",
+    "apply_churn",
+    "run_churn_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -135,3 +150,106 @@ def apply_churn(
                 )
 
     return report
+
+
+@dataclass
+class ChurnRunResult:
+    """What one churn campaign did and answered.
+
+    ``probe_results`` is the deterministic query trace — one
+    ``(batch, term, sorted generalizations)`` row per probe — that the
+    retraction-vs-rebuild regression test compares across drivers.
+    """
+
+    batches: int = 0
+    repairs: int = 0
+    refresh_modes: dict[str, int] = field(default_factory=dict)
+    probe_results: list[tuple[int, str, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    work: dict[str, int] = field(default_factory=dict)
+
+    def record_refresh(self, mode: str) -> None:
+        self.refresh_modes[mode] = self.refresh_modes.get(mode, 0) + 1
+
+
+def run_churn_workload(
+    articulation,
+    *,
+    batches: int = 6,
+    mutations_per_batch: int = 6,
+    seed: int = 0,
+    incremental: bool = True,
+    probes_per_batch: int = 8,
+) -> ChurnRunResult:
+    """Drive ``batches`` rounds of source churn through maintenance
+    and inference; answer deterministic probe queries after each.
+
+    ``incremental=True`` keeps one :class:`OntologyInferenceEngine`
+    alive across the whole campaign: growth refreshes ride delta
+    propagation, shrink refreshes ride the DRed retraction pass
+    (``refresh_modes`` records which path each batch took).
+    ``incremental=False`` is the baseline the regression test compares
+    against: a from-scratch engine build per batch.  Given equal
+    inputs and ``seed``, both drivers must produce identical
+    ``probe_results``.
+    """
+    from repro.core.maintenance import ArticulationMaintainer
+    from repro.inference.engine import OntologyInferenceEngine
+
+    maintainer = ArticulationMaintainer(articulation)
+    result = ChurnRunResult(batches=batches)
+    engine = (
+        OntologyInferenceEngine.from_articulation(articulation)
+        if incremental
+        else None
+    )
+    seen_stats: object = None
+    if engine is not None:
+        result.record_refresh(str(engine.last_refresh["mode"]))
+        engine.fact_count()  # reach the first fixpoint: repairs from
+        # here on are served by delta propagation / the DRed pass.
+        # The initial build's counters are not campaign work.
+        seen_stats = engine.engine.last_stats
+    source_names = sorted(articulation.sources)
+    for batch in range(batches):
+        source_name = source_names[batch % len(source_names)]
+        report = apply_churn(
+            articulation.sources[source_name],
+            n_mutations=mutations_per_batch,
+            seed=seed * 1009 + batch,
+        )
+        maintenance = maintainer.apply_source_changes(
+            source_name, report.touched_terms()
+        )
+        if maintenance.required_work:
+            result.repairs += 1
+        if incremental:
+            refresh = engine.refresh_from_articulation(articulation)
+            result.record_refresh(str(refresh["mode"]))
+        else:
+            engine = OntologyInferenceEngine.from_articulation(articulation)
+            result.record_refresh(str(engine.last_refresh["mode"]))
+        # Deterministic probes: the first covered source terms plus the
+        # articulation's own classes, in sorted order.
+        probes = sorted(articulation.covered_source_terms())[
+            :probes_per_batch
+        ]
+        probes += [
+            f"{articulation.name}:{term}"
+            for term in sorted(articulation.ontology.terms())[
+                :probes_per_batch
+            ]
+        ]
+        for term in probes:
+            answers = tuple(sorted(engine.generalizations(term)))
+            result.probe_results.append((batch, term, answers))
+        # last_stats is replaced per saturation; a batch whose refresh
+        # queued no engine work keeps the previous dict and must not
+        # re-count it.
+        stats = engine.engine.last_stats
+        if stats is not seen_stats:
+            seen_stats = stats
+            for key in ("candidates", "derived", "overdeleted", "rederived"):
+                result.work[key] = result.work.get(key, 0) + int(stats[key])
+    return result

@@ -141,6 +141,79 @@ class TestUnderChurn:
         assert any("stale rule" in issue for issue in issues)
 
 
+class TestRetractionRouting:
+    """Deletion-repairs ride the DRed retraction delta, and the
+    fingerprint-keyed part cache keeps unchanged graphs un-walked."""
+
+    def test_repair_does_not_reextract_unchanged_sources(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        engine = maintainer.inference_engine()
+        engine.fact_count()  # reach a fixpoint so DRed can repair it
+        transport.sources["carrier"].remove_term("Car")
+        report = maintainer.apply_source_changes("carrier", ["Car"])
+        assert report.inference_mode == "retract"
+        refresh = engine.last_refresh
+        assert refresh["removed"] > 0
+        # carrier changed and the repair swapped in a fresh articulation
+        # ontology; factory never moved, so its edge part came from the
+        # per-version cache.
+        assert "carrier" in refresh["extracted"]
+        assert "factory" not in refresh["extracted"]
+
+    def test_unsaturated_engine_reports_replay_not_retract(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        """A shrink diffed into an engine that never reached a
+        fixpoint is applied but honestly labeled: the next query
+        replays from base instead of running the DRed pass."""
+        engine = maintainer.inference_engine()  # built, never queried
+        transport.sources["carrier"].remove_term("Car")
+        report = maintainer.apply_source_changes("carrier", ["Car"])
+        assert report.inference_mode == "replay"
+        assert not engine.implies("carrier:Car", "factory:Vehicle")
+        assert engine.engine.last_stats["mode"] == "full"
+
+    def test_source_rename_invalidates_part_cache(
+        self, transport: Articulation
+    ) -> None:
+        """The per-part cache keys on the ontology *name* as well as
+        the graph version: an in-place rename must re-extract, not
+        serve stale qualified atoms."""
+        from repro.inference.engine import OntologyInferenceEngine
+
+        engine = OntologyInferenceEngine.from_articulation(transport)
+        engine.fact_count()
+        transport.sources["hauler"] = transport.sources.pop("carrier")
+        transport.sources["hauler"].name = "hauler"
+        # an unrelated edit elsewhere moves the fingerprint
+        transport.sources["factory"].ensure_term("SparePart")
+        transport.bump_version()
+        engine.refresh_from_articulation(transport)
+        scratch = OntologyInferenceEngine.from_articulation(transport)
+        assert engine.engine.facts() == scratch.engine.facts()
+
+    def test_bridge_only_shrink_needs_no_extraction_at_all(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        """Dropping a bridge (no graph moved) is served purely from
+        the fingerprint diff: a retraction delta, zero graph walks."""
+        from repro.inference.engine import OntologyInferenceEngine
+
+        engine = maintainer.inference_engine()
+        engine.fact_count()  # saturate once
+        victim = sorted(
+            transport.bridges, key=lambda e: (e.source, e.label, e.target)
+        )[0]
+        transport.bridges.discard(victim)
+        transport.bump_version()
+        refresh = engine.refresh_from_articulation(transport)
+        assert refresh["mode"] == "retract"
+        assert refresh["extracted"] == []  # every graph part cache-hit
+        scratch = OntologyInferenceEngine.from_articulation(transport)
+        assert engine.engine.facts() == scratch.engine.facts()
+
+
 class TestSemanticChecks:
     def test_semantic_verify_clean_articulation(
         self, maintainer: ArticulationMaintainer
@@ -168,7 +241,9 @@ class TestSemanticChecks:
         assert engine.implies("carrier:Car", "factory:Vehicle")
         transport.sources["carrier"].remove_term("Car")
         report = maintainer.apply_source_changes("carrier", ["Car"])
-        assert report.inference_mode in ("incremental", "rebuild")
+        # A deletion-repair routes through the DRed retraction delta,
+        # not a rebuild.
+        assert report.inference_mode == "retract"
         # Same engine object, refreshed program: the dropped rule's
         # implication is gone.
         assert maintainer.inference_engine() is engine

@@ -210,9 +210,12 @@ class TestIncrementalRefresh:
         scratch = OntologyInferenceEngine.from_articulation(transport)
         assert engine.engine.facts() == scratch.engine.facts()
 
-    def test_shrunk_articulation_forces_rebuild(
+    def test_shrunk_articulation_serves_retraction(
         self, transport: Articulation
     ) -> None:
+        """A shrink no longer forces a rebuild: the stale facts are
+        retracted through the Horn engine's DRed pass and the result
+        still equals a from-scratch build."""
         from repro.core.articulation import ArticulationGenerator
         from repro.core.rules import ArticulationRuleSet
 
@@ -228,7 +231,8 @@ class TestIncrementalRefresh:
         )
         rebuilt = generator.generate(surviving)
         refresh = engine.refresh_from_articulation(rebuilt)
-        assert refresh["mode"] == "rebuild"
+        assert refresh["mode"] == "retract"
+        assert refresh["removed"] > 0
         scratch = OntologyInferenceEngine.from_articulation(rebuilt)
         assert engine.engine.facts() == scratch.engine.facts()
 

@@ -1,0 +1,1 @@
+"""Reusable test infrastructure shared across test packages."""
