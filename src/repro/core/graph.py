@@ -33,6 +33,10 @@ from repro.errors import (
 
 __all__ = ["Edge", "LabeledGraph"]
 
+# Mutation-journal retention: indexes more than this many mutations
+# stale fall back to a full rebuild instead of a replay.
+_JOURNAL_RETENTION = 256
+
 
 @dataclass(frozen=True, slots=True)
 class Edge:
@@ -76,6 +80,7 @@ class LabeledGraph:
         "_by_label",
         "_version",
         "_match_indexes",
+        "_journal",
     )
 
     def __init__(self) -> None:
@@ -89,16 +94,39 @@ class LabeledGraph:
         # repro.core.patterns.MatchIndex; entries self-invalidate
         # against ``_version``.
         self._match_indexes: dict[tuple, object] = {}
+        # Bounded mutation journal: one (version, op, ...) row per
+        # structural change, newest _JOURNAL_RETENTION rows kept.
+        # MatchIndex replays the rows since its build version instead
+        # of rebuilding; journal_since() serves the span.
+        self._journal: deque[tuple] = deque(maxlen=_JOURNAL_RETENTION)
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter; bumped by every structural change.
 
         Caches built over a graph (pattern-match indexes, cached unified
-        graphs) record the version they were built at and rebuild when
-        it moves.
+        graphs) record the version they were built at and refresh when
+        it moves — by replaying :meth:`journal_since` when the gap fits
+        the journal window, from scratch otherwise.
         """
         return self._version
+
+    def journal_since(self, version: int) -> list[tuple] | None:
+        """Mutation rows recorded after ``version``, oldest first.
+
+        Every structural mutation appends exactly one row tagged with
+        the version it produced, so rows carry consecutive versions
+        and the newest row is always the current version.  Returns
+        ``[]`` when ``version`` is already current, ``None`` when the
+        requested span has fallen out of the bounded window (the
+        caller must rebuild its cache instead of replaying).
+        """
+        if version >= self._version:
+            return []
+        journal = self._journal
+        if not journal or journal[0][0] > version + 1:
+            return None
+        return [row for row in journal if row[0] > version]
 
     # ------------------------------------------------------------------
     # node operations
@@ -120,6 +148,7 @@ class LabeledGraph:
         self._in[node_id] = set()
         self._by_label.setdefault(resolved, set()).add(node_id)
         self._version += 1
+        self._journal.append((self._version, "add_node", node_id, resolved))
         return node_id
 
     def ensure_node(self, node_id: str, label: str | None = None) -> str:
@@ -148,6 +177,7 @@ class LabeledGraph:
         del self._out[node_id]
         del self._in[node_id]
         self._version += 1
+        self._journal.append((self._version, "remove_node", node_id, label))
         return incident
 
     def has_node(self, node_id: str) -> bool:
@@ -174,6 +204,9 @@ class LabeledGraph:
         self._labels[node_id] = label
         self._by_label.setdefault(label, set()).add(node_id)
         self._version += 1
+        self._journal.append(
+            (self._version, "relabel_node", node_id, old, label)
+        )
 
     def nodes(self) -> Iterator[str]:
         return iter(self._labels)
@@ -211,6 +244,9 @@ class LabeledGraph:
             self._out[source].add(edge)
             self._in[target].add(edge)
             self._version += 1
+            self._journal.append(
+                (self._version, "add_edge", source, label, target)
+            )
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
@@ -220,6 +256,10 @@ class LabeledGraph:
         self._out[edge.source].discard(edge)
         self._in[edge.target].discard(edge)
         self._version += 1
+        self._journal.append(
+            (self._version, "remove_edge", edge.source, edge.label,
+             edge.target)
+        )
 
     def discard_edge(self, edge: Edge) -> bool:
         """Remove the edge if present; return whether it was removed."""

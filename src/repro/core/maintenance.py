@@ -33,7 +33,12 @@ against what it has loaded, pushes new facts through the Horn
 evaluator's incremental delta propagation, and queues disappeared
 facts (dropped bridges, dropped rules, shed source edges) as
 *retractions* for the DRed overdelete/rederive pass
-(``inference_mode == "retract"``).  A repair that only removes
+(``inference_mode == "retract"``).  The whole shrink+grow diff rides
+one :meth:`~repro.inference.horn.HornEngine.apply_batch`, so a repair
+pays a single coalesced pass however many bridges and rules it moved —
+and when the diff's retraction count crosses the engine's measured
+rebuild crossover, the engine replays from base instead
+(``inference_mode == "batch-rebuild"``).  A repair that only removes
 bridges never re-walks the unchanged source graphs either: program
 extraction is cached per graph version, so the fingerprint path
 serves the retraction delta from the bridge/rule diff alone.  A full
@@ -68,7 +73,9 @@ class MaintenanceReport:
     dropped_bridges: int = 0
     replayed_rules: int = 0
     repair_ops: int = 0
-    # ""/"initial"/"incremental"/"retract"/"replay"/"rebuild"
+    # "" / "initial" / "incremental" / "retract" / "replay" /
+    # "batch-rebuild" (the shrink+grow diff crossed the engine's
+    # measured rebuild crossover) / "rebuild" (axiom change)
     inference_mode: str = ""
 
     @property

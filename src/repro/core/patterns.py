@@ -21,8 +21,10 @@ Two execution strategies share one backtracking core:
 * ``strategy="indexed"`` (default) resolves condition 1 through a
   :class:`MatchIndex` — a per-``(graph, MatchConfig)`` map from labels
   to candidate node sets with the case/synonym closure folded in at
-  build time, cached on the graph and invalidated by its mutation
-  version — and compiles the pattern once per call
+  build time, cached on the graph and kept current under graph deltas
+  by replaying the graph's bounded mutation journal in place (full
+  rebuild only when the gap outruns the journal) — and compiles the
+  pattern once per call
   (:func:`compile_pattern`): nodes ordered by selectivity, each edge
   check lowered to an O(1) set or pair lookup.
 * ``strategy="scan"`` is the original per-call label scan, preserved
@@ -35,6 +37,7 @@ reproducible run-to-run and identical between strategies.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Callable, Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
@@ -356,14 +359,20 @@ class MatchIndex:
     Edge checks use a lazily built ``(source, target) -> labels`` pair
     map, turning the relaxed-edge test into one dict probe.
 
-    Instances are cached on the graph (:meth:`for_graph`) and
-    self-invalidate when the graph's mutation version moves.
+    Instances are cached on the graph (:meth:`for_graph`).  When the
+    graph's mutation version moves, the cached index first tries to
+    *replay* the graph's bounded mutation journal in place
+    (:meth:`refresh` — patching candidate tuples, the lowercase map,
+    the node list and the pair-label map, counted by
+    ``delta_refreshes``) and rebuilds from scratch only when the gap
+    exceeds the journal's retention window.
     """
 
     __slots__ = (
         "graph",
         "config",
         "version",
+        "delta_refreshes",
         "_by_lower",
         "_label_cache",
         "_all_nodes",
@@ -374,6 +383,7 @@ class MatchIndex:
         self.graph = graph
         self.config = config
         self.version = graph.version
+        self.delta_refreshes = 0
         self._by_lower: dict[str, set[str]] | None = None
         self._label_cache: dict[str, tuple[str, ...]] = {}
         self._all_nodes: tuple[str, ...] | None = None
@@ -394,7 +404,9 @@ class MatchIndex:
         cache = graph._match_indexes
         key = config.cache_key()
         entry = cache.get(key)
-        if entry is not None and entry.version == graph.version:
+        if entry is not None and (
+            entry.version == graph.version or entry.refresh()
+        ):
             return entry
         if entry is None and len(cache) >= cls._CACHE_LIMIT:
             # Evict the oldest entry (dict preserves insertion order)
@@ -406,6 +418,78 @@ class MatchIndex:
 
     def fresh(self) -> bool:
         return self.version == self.graph.version
+
+    # -- incremental maintenance ----------------------------------------
+    def refresh(self) -> bool:
+        """Catch up with the graph by replaying its mutation journal.
+
+        Returns False when the gap since this index's version has
+        fallen out of the journal's bounded window — the caller must
+        rebuild.  Otherwise every built structure is patched in place
+        (lazy ones not built yet stay lazy and resolve against the
+        current graph when first used), ``version`` catches up, and
+        ``delta_refreshes`` counts the replay.
+        """
+        rows = self.graph.journal_since(self.version)
+        if rows is None:
+            return False
+        for row in rows:
+            op = row[1]
+            if op == "add_node":
+                self._replay_add_node(row[2], row[3])
+            elif op == "remove_node":
+                self._replay_remove_node(row[2], row[3])
+            elif op == "relabel_node":
+                self._replay_relabel(row[2], row[3], row[4])
+            elif op == "add_edge":
+                if self._pair_labels is not None:
+                    self._pair_labels.setdefault(
+                        (row[2], row[4]), set()
+                    ).add(row[3])
+            else:  # remove_edge
+                if self._pair_labels is not None:
+                    labels = self._pair_labels.get((row[2], row[4]))
+                    if labels is not None:
+                        labels.discard(row[3])
+        self.version = self.graph.version
+        if rows:
+            self.delta_refreshes += 1
+        return True
+
+    def _replay_add_node(self, node_id: str, label: str) -> None:
+        # Membership in a cached candidate tuple is exactly condition 1
+        # — node_labels_match folds the exact/case/synonym/equiv rules.
+        match = self.config.node_labels_match
+        for plabel, cached in self._label_cache.items():
+            if match(plabel, label):
+                self._label_cache[plabel] = _insert_sorted(cached, node_id)
+        if self._by_lower is not None:
+            self._by_lower.setdefault(label.lower(), set()).add(node_id)
+        if self._all_nodes is not None:
+            self._all_nodes = _insert_sorted(self._all_nodes, node_id)
+
+    def _replay_remove_node(self, node_id: str, label: str) -> None:
+        for plabel, cached in self._label_cache.items():
+            self._label_cache[plabel] = _remove_sorted(cached, node_id)
+        if self._by_lower is not None:
+            bucket = self._by_lower.get(label.lower())
+            if bucket is not None:
+                bucket.discard(node_id)
+        if self._all_nodes is not None:
+            self._all_nodes = _remove_sorted(self._all_nodes, node_id)
+
+    def _replay_relabel(self, node_id: str, old: str, new: str) -> None:
+        match = self.config.node_labels_match
+        for plabel, cached in self._label_cache.items():
+            if match(plabel, new):
+                self._label_cache[plabel] = _insert_sorted(cached, node_id)
+            else:
+                self._label_cache[plabel] = _remove_sorted(cached, node_id)
+        if self._by_lower is not None:
+            bucket = self._by_lower.get(old.lower())
+            if bucket is not None:
+                bucket.discard(node_id)
+            self._by_lower.setdefault(new.lower(), set()).add(node_id)
 
     # -- candidate resolution -------------------------------------------
     def all_nodes(self) -> tuple[str, ...]:
@@ -465,6 +549,22 @@ class MatchIndex:
 
 
 _NO_LABELS: set[str] = set()
+
+
+def _insert_sorted(items: tuple[str, ...], value: str) -> tuple[str, ...]:
+    """``items`` with ``value`` inserted in order (no-op if present)."""
+    at = bisect_left(items, value)
+    if at < len(items) and items[at] == value:
+        return items
+    return items[:at] + (value,) + items[at:]
+
+
+def _remove_sorted(items: tuple[str, ...], value: str) -> tuple[str, ...]:
+    """``items`` without ``value`` (no-op if absent)."""
+    at = bisect_left(items, value)
+    if at < len(items) and items[at] == value:
+        return items[:at] + items[at + 1:]
+    return items
 
 # The shared default config: every config-less find_matches call must
 # resolve to ONE object, or the identity-keyed index cache would miss

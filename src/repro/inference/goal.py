@@ -49,8 +49,11 @@ __all__ = ["GoalDirectedEngine"]
 class GoalDirectedEngine:
     """Answers goals by saturating only the relevant program slice."""
 
-    def __init__(self, *, strategy: str = "seminaive") -> None:
+    def __init__(
+        self, *, strategy: str = "seminaive", workers: int = 1
+    ) -> None:
         self.strategy = strategy
+        self.workers = workers
         self._store = FactStore()  # master base facts, indexes shared
         self._clauses: list[HornClause] = []
         self._clause_set: set[HornClause] = set()
@@ -89,6 +92,33 @@ class GoalDirectedEngine:
 
     def remove_facts(self, atoms: Iterable[Atom]) -> int:
         return sum(1 for atom in atoms if self.remove_fact(atom))
+
+    def apply_batch(
+        self, adds: Iterable[Atom] = (), retracts: Iterable[Atom] = ()
+    ) -> dict[str, int]:
+        """Batched fact churn: retractions first, then additions.
+
+        Per-op :meth:`add_fact` / :meth:`remove_fact` each invalidate
+        the memo, so interleaved churn rebuilds slices that the next
+        edit throws away again; a batch pays one invalidation for the
+        whole diff — and none at all when every edit was a no-op.
+        Returns ``{"added", "retracted"}`` counts.
+        """
+        retracted = 0
+        for atom in retracts:
+            if not is_ground(atom):
+                raise InferenceError(f"facts must be ground: {atom!r}")
+            if self._store.remove(atom):
+                retracted += 1
+        added = 0
+        for atom in adds:
+            if not is_ground(atom):
+                raise InferenceError(f"facts must be ground: {atom!r}")
+            if self._store.add(atom):
+                added += 1
+        if added or retracted:
+            self._slices.clear()
+        return {"added": added, "retracted": retracted}
 
     def add_clause(self, clause: HornClause) -> None:
         if not clause.body:
@@ -147,6 +177,7 @@ class GoalDirectedEngine:
         # the process-wide compilation cache.
         engine = HornEngine(
             strategy=self.strategy,
+            workers=self.workers,
             store=FactStore(base=self._store, visible=relevant),
         )
         n_clauses = 0

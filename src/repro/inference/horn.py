@@ -31,6 +31,24 @@ ideas:
   deltas; the next query propagates only those deltas through the
   strata instead of re-running saturation from scratch.  The result is
   guaranteed (and property-tested) to equal from-scratch saturation.
+* **Parallel saturation over independent strata**
+  (:class:`ParallelScheduler`): the Tarjan stratification is extended
+  to a stratum *dependency DAG*; strata with no path between them are
+  dispatched to a process pool (compiled plans and the relevant fact
+  partition are pickled across; every head predicate belongs to
+  exactly one stratum, so partitions never conflict) and their
+  conclusions merge into the master store at the join points.
+  ``workers=1`` — the default — keeps everything serial and
+  allocation-free; the parallel result is property-tested equal to the
+  serial one.
+* **Batched churn with an auto-tuned rebuild crossover**
+  (:meth:`HornEngine.apply_batch`): a whole shrink+grow batch queues
+  first and pays *one* overdelete/rederive/propagate pass instead of
+  one per operation; when the batch's retraction count reaches the
+  measured DRed-vs-rebuild crossover (seeded from the checked-in
+  retraction benchmark, re-measurable per machine via
+  :meth:`HornEngine.calibrate_rebuild_crossover`), the batch abandons
+  the deletion cone and replays from base instead.
 * **Incremental retraction (DRed)**: :meth:`HornEngine.retract_fact` /
   :meth:`HornEngine.retract_clause` queue deletions; the next query
   *overdeletes* the downstream cone of the retracted facts using the
@@ -59,9 +77,14 @@ the expert; §2.4 requires the expert to vet what the system concluded.
 
 from __future__ import annotations
 
+import atexit
+import json
 from collections import defaultdict
 from collections.abc import Iterable, Iterator, Mapping
+from concurrent import futures as _futures
 from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
 
 from repro.core.rules import HornClause
 from repro.errors import InferenceError
@@ -69,10 +92,13 @@ from repro.errors import InferenceError
 __all__ = [
     "Atom",
     "CompiledClause",
+    "DEFAULT_REBUILD_CROSSOVER",
     "FactStore",
     "HornEngine",
+    "ParallelScheduler",
     "compile_clause",
     "is_variable",
+    "seed_rebuild_crossover",
     "substitute",
     "unify_atom",
 ]
@@ -657,6 +683,275 @@ def _stratify(compiled: list[CompiledClause]) -> list[list[CompiledClause]]:
     return [stratum for stratum in strata if stratum]
 
 
+def _stratum_dag(
+    compiled: list[CompiledClause],
+) -> tuple[list[list[CompiledClause]], list[set[int]]]:
+    """The SCC strata plus their dependency DAG.
+
+    ``deps[i]`` holds the indices of the (earlier, by topological
+    construction) strata whose head predicates feed stratum ``i``'s
+    bodies.  Strata with no path between them in this DAG touch
+    disjoint derived predicates and may saturate concurrently; a
+    stratum is runnable once every index in ``deps[i]`` has completed.
+    Every clause lands in the stratum of its head predicate, so each
+    derived predicate has exactly one owning stratum — the property
+    that makes parallel partitions write-conflict-free.
+    """
+    strata = _stratify(compiled)
+    owner: dict[str, int] = {}
+    for i, stratum in enumerate(strata):
+        for cc in stratum:
+            owner[cc.head_pred] = i
+    deps: list[set[int]] = []
+    for i, stratum in enumerate(strata):
+        need: set[int] = set()
+        for cc in stratum:
+            for pred in cc.body_preds:
+                j = owner.get(pred)
+                if j is not None and j != i:
+                    need.add(j)
+        deps.append(need)
+    return strata, deps
+
+
+# ----------------------------------------------------------------------
+# parallel saturation: process-pool dispatch over independent strata
+# ----------------------------------------------------------------------
+def _saturate_stratum_task(
+    payload: tuple,
+) -> tuple[list[Atom], list[tuple[Atom, int, tuple[Atom, ...]]], dict[str, int]]:
+    """Process-pool task: saturate one stratum over a shipped partition.
+
+    The payload carries the stratum's compiled clauses, the facts of
+    every predicate the stratum reads or writes, an optional delta
+    shard (incremental mode), and whether to report derivations.  A
+    private store/engine pair evaluates the stratum to its fixpoint;
+    back across the pickle boundary go the new facts, their
+    derivations as ``(fact, clause-index-in-stratum, premises)``
+    triples (clause objects stay on the parent side), and the work
+    counters to fold into the parent's stats.
+    """
+    stratum, facts, delta_items, record = payload
+    stratum = list(stratum)
+    store = FactStore()
+    for atom in facts:
+        store.add(atom)
+    engine = HornEngine(record_derivations=record, store=store)
+    if delta_items is None:
+        delta0 = engine._initial_delta(stratum)
+    else:
+        delta0 = {pred: set(members) for pred, members in delta_items}
+    new, _ = engine._eval_stratum(stratum, delta0)
+    derivations: list[tuple[Atom, int, tuple[Atom, ...]]] = []
+    if record:
+        index_of = {cc.clause: i for i, cc in enumerate(stratum)}
+        for fact in new:
+            derivation = engine._derivations.get(fact)
+            if derivation is not None:
+                derivations.append(
+                    (fact, index_of[derivation.clause], derivation.premises)
+                )
+    stats = engine.last_stats
+    counters = {
+        key: stats[key]
+        for key in ("rounds", "activations", "index_probes", "candidates")
+    }
+    return new, derivations, counters
+
+
+_POOL_CACHE: dict[int, _futures.ProcessPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> _futures.ProcessPoolExecutor:
+    """One process pool per worker count, reused across saturations.
+
+    Workers are stateless (every task ships its whole input), so the
+    pool can be shared by every engine in the process and the fork
+    cost is paid once per worker count, not once per query.
+    """
+    pool = _POOL_CACHE.get(workers)
+    if pool is None:
+        pool = _futures.ProcessPoolExecutor(max_workers=workers)
+        _POOL_CACHE[workers] = pool
+    return pool
+
+
+def _shutdown_pools() -> None:
+    """Tear the cached pools down before interpreter shutdown.
+
+    Executors left to die with the process race module teardown in
+    their management threads; an explicit early shutdown keeps exits
+    clean."""
+    for pool in _POOL_CACHE.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOL_CACHE.clear()
+
+
+atexit.register(_shutdown_pools)
+
+
+class ParallelScheduler:
+    """Dispatch independent SCC strata of an engine to a process pool.
+
+    Drives the stratum dependency DAG as a ready-queue: any stratum
+    whose dependencies have all completed is submitted immediately, so
+    independent chains overlap and the makespan is bounded by the
+    DAG's critical path rather than the serial sum.  Each task ships
+    the stratum's compiled plans plus the fact partition its body and
+    head predicates touch; completions merge new conclusions into the
+    master store at the join points, which unblocks dependents.
+
+    In delta mode (``run(by_pred)``) each stratum receives only its
+    shard of the queued deltas and its conclusions extend the shared
+    delta map — the parallel twin of
+    :meth:`HornEngine._push_stratum`, with the same topological
+    guarantee: a stratum's input shard is final once its dependencies
+    have completed, because only they (or the EDB seeds) can feed its
+    body predicates.
+    """
+
+    def __init__(self, engine: HornEngine, workers: int) -> None:
+        if workers < 1:
+            raise InferenceError(f"workers must be >= 1, got {workers!r}")
+        self.engine = engine
+        self.workers = workers
+
+    def run(self, by_pred: dict[str, set[Atom]] | None = None) -> int:
+        """Saturate (``by_pred=None``) or push deltas; returns #derived."""
+        engine = self.engine
+        store = engine._store
+        stats = engine.last_stats
+        strata, deps = engine.stratum_dag()
+        stats["strata"] = len(strata)
+        if not strata:
+            return 0
+        incremental = by_pred is not None
+        record = engine.record_derivations
+        n = len(strata)
+        blockers = [len(dep) for dep in deps]
+        dependents: list[list[int]] = [[] for _ in range(n)]
+        for i, dep in enumerate(deps):
+            for j in dep:
+                dependents[j].append(i)
+        body_preds: list[set[str]] = []
+        ship_preds: list[list[str]] = []
+        for stratum in strata:
+            body: set[str] = set()
+            for cc in stratum:
+                body |= cc.body_preds
+            body_preds.append(body)
+            ship_preds.append(
+                sorted(body | {cc.head_pred for cc in stratum})
+            )
+        derived = 0
+        ready = [i for i in range(n) if not blockers[i]]
+        in_flight: dict[_futures.Future, int] = {}
+        pool = _shared_pool(self.workers)
+
+        def release(i: int) -> None:
+            for j in dependents[i]:
+                blockers[j] -= 1
+                if not blockers[j]:
+                    ready.append(j)
+
+        def dispatch(i: int) -> None:
+            delta_items = None
+            if incremental:
+                delta_items = tuple(
+                    (pred, tuple(sorted(by_pred[pred])))
+                    for pred in sorted(body_preds[i])
+                    if by_pred.get(pred)
+                )
+                if not delta_items:  # no delta reaches this stratum
+                    release(i)
+                    return
+            facts = [
+                fact
+                for pred in ship_preds[i]
+                for fact in store.pool(pred)
+            ]
+            stats["tasks"] += 1
+            stats["shipped_facts"] += len(facts)
+            payload = (tuple(strata[i]), facts, delta_items, record)
+            in_flight[pool.submit(_saturate_stratum_task, payload)] = i
+
+        while ready or in_flight:
+            while ready:
+                dispatch(ready.pop())
+            if not in_flight:
+                break
+            done, _ = _futures.wait(
+                in_flight, return_when=_futures.FIRST_COMPLETED
+            )
+            for future in done:
+                i = in_flight.pop(future)
+                new, derivations, counters = future.result()
+                for fact in new:
+                    if store.add(fact):
+                        derived += 1
+                        if incremental:
+                            by_pred.setdefault(fact[0], set()).add(fact)
+                for fact, clause_index, premises in derivations:
+                    engine._record_new(
+                        strata[i][clause_index], fact, premises
+                    )
+                for key, value in counters.items():
+                    stats[key] += value
+                release(i)
+        if derived:
+            engine._derived_ever = True
+        return derived
+
+
+# ----------------------------------------------------------------------
+# the DRed-vs-rebuild crossover: seeded from the benchmark, tunable
+# ----------------------------------------------------------------------
+DEFAULT_REBUILD_CROSSOVER = 8
+"""Fallback batch-retraction count past which a rebuild beats DRed."""
+
+_BENCH_RETRACTION_JSON = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "BENCH_retraction.json"
+)
+_seeded_crossover: int | None = None
+
+
+def seed_rebuild_crossover(path: Path | str | None = None) -> int:
+    """The DRed-vs-rebuild crossover recorded by the retraction bench.
+
+    Reads the checked-in ``BENCH_retraction.json`` retract-vs-rebuild
+    sweep and returns the smallest retraction count at which the full
+    rebuild measured faster than the DRed pass — the point where
+    :meth:`HornEngine.apply_batch` should stop chasing deletion cones.
+    Floors at 2 (a crossover of 1 would deny DRed entirely) and falls
+    back to :data:`DEFAULT_REBUILD_CROSSOVER` when the file or series
+    is missing or malformed.  The default lookup is cached per process.
+    """
+    global _seeded_crossover
+    if path is None and _seeded_crossover is not None:
+        return _seeded_crossover
+    target = Path(path) if path is not None else _BENCH_RETRACTION_JSON
+    crossover = DEFAULT_REBUILD_CROSSOVER
+    try:
+        payload = json.loads(target.read_text())
+        series = payload["workloads"]["retract_vs_rebuild"]
+        ks = sorted(int(k) for k in series)
+        for k in ks:
+            row = series[str(k)]
+            if float(row["rebuild_ms"]) < float(row["retract_ms"]):
+                crossover = max(k, 2)
+                break
+        else:
+            if ks:  # rebuild never won in the measured range
+                crossover = ks[-1] + 1
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    if path is None:
+        _seeded_crossover = crossover
+    return crossover
+
+
 # ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
@@ -671,6 +966,8 @@ def _new_stats(mode: str) -> dict[str, int | str]:
         "derived": 0,
         "overdeleted": 0,  # facts removed by the DRed overdelete pass
         "rederived": 0,  # overdeleted facts restored by rederivation
+        "tasks": 0,  # strata dispatched to the process pool
+        "shipped_facts": 0,  # facts pickled across to workers
     }
 
 
@@ -685,6 +982,17 @@ class HornEngine:
     ``record_derivations=False`` skips provenance bookkeeping for a
     faster engine whose :meth:`explain` raises.  ``store`` lets a
     caller supply a (possibly overlay) :class:`FactStore`.
+
+    ``workers`` above 1 dispatches independent SCC strata to a shared
+    process pool (:class:`ParallelScheduler`) during full and
+    incremental semi-naive saturation; the derived-fact set is
+    identical to the serial engine's.  ``rebuild_crossover`` is the
+    batch-retraction count at which :meth:`apply_batch` switches from
+    the DRed pass to a full rebuild — defaults to the figure recorded
+    in the checked-in retraction benchmark
+    (:func:`seed_rebuild_crossover`), and
+    :meth:`calibrate_rebuild_crossover` re-measures it on the current
+    machine.
     """
 
     def __init__(
@@ -694,14 +1002,25 @@ class HornEngine:
         scheduling: str = "stratified",
         record_derivations: bool = True,
         store: FactStore | None = None,
+        workers: int = 1,
+        rebuild_crossover: int | None = None,
     ) -> None:
         if strategy not in ("seminaive", "naive"):
             raise InferenceError(f"unknown evaluation strategy {strategy!r}")
         if scheduling not in ("stratified", "flat"):
             raise InferenceError(f"unknown scheduling {scheduling!r}")
+        if workers < 1:
+            raise InferenceError(f"workers must be >= 1, got {workers!r}")
         self.strategy = strategy
         self.scheduling = scheduling
         self.record_derivations = record_derivations
+        self.workers = workers
+        self.rebuild_crossover = (
+            seed_rebuild_crossover()
+            if rebuild_crossover is None
+            else rebuild_crossover
+        )
+        self.last_calibration: list[dict[str, float]] = []
         self._store = store if store is not None else FactStore()
         self._clauses: list[HornClause] = []
         self._clause_set: set[HornClause] = set()
@@ -722,6 +1041,7 @@ class HornEngine:
         self._pending_clause_retractions: list[CompiledClause] = []
         self._needs_rebuild = False
         self._strata: list[list[CompiledClause]] | None = None
+        self._stratum_deps: list[set[int]] | None = None
         self.last_stats: dict[str, int | str] = _new_stats("idle")
 
     # ------------------------------------------------------------------
@@ -817,6 +1137,7 @@ class HornEngine:
         del self._clauses[position]
         compiled = self._compiled.pop(position)
         self._strata = None
+        self._stratum_deps = None
         if compiled in self._pending_clauses:
             self._pending_clauses.remove(compiled)
             return True
@@ -854,6 +1175,7 @@ class HornEngine:
         self._clauses.append(clause)
         self._compiled.append(compiled)
         self._strata = None
+        self._stratum_deps = None
         if self._saturated:
             if self.strategy == "seminaive":
                 self._pending_clauses.append(compiled)
@@ -978,12 +1300,28 @@ class HornEngine:
     # evaluation
     # ------------------------------------------------------------------
     def _schedule(self) -> list[list[CompiledClause]]:
-        if self._strata is None:
+        return self.stratum_dag()[0]
+
+    def stratum_dag(
+        self,
+    ) -> tuple[list[list[CompiledClause]], list[set[int]]]:
+        """The stratum schedule and its dependency DAG (cached).
+
+        Under ``flat`` scheduling the whole program is one stratum with
+        no dependencies; under ``stratified`` this is
+        :func:`_stratum_dag` over the compiled program.
+        """
+        if self._strata is None or self._stratum_deps is None:
             if self.scheduling == "stratified":
-                self._strata = _stratify(self._compiled)
+                self._strata, self._stratum_deps = _stratum_dag(
+                    self._compiled
+                )
             else:
-                self._strata = [list(self._compiled)] if self._compiled else []
-        return self._strata
+                self._strata = (
+                    [list(self._compiled)] if self._compiled else []
+                )
+                self._stratum_deps = [set() for _ in self._strata]
+        return self._strata, self._stratum_deps
 
     def _record_new(
         self,
@@ -1062,20 +1400,28 @@ class HornEngine:
     def _saturate_seminaive(self, max_rounds: int | None) -> tuple[int, bool]:
         derived = 0
         at_fixpoint = True
-        strata = (
-            self._schedule()
-            if max_rounds is None
+        if max_rounds is None:
+            strata = self._schedule()
+            if self.workers > 1 and len(strata) > 1:
+                derived = ParallelScheduler(self, self.workers).run()
+                return derived, True
+        else:
             # bounded runs use flat scheduling so "a round" means the
             # same thing under both strategies (see saturate()).
-            else ([list(self._compiled)] if self._compiled else [])
-        )
+            strata = [list(self._compiled)] if self._compiled else []
         self.last_stats["strata"] = len(strata)
+        stratum_ms: list[float] = []
         for stratum in strata:
+            started = perf_counter()
             new, fixed = self._eval_stratum(
                 stratum, self._initial_delta(stratum), max_rounds
             )
+            stratum_ms.append((perf_counter() - started) * 1000.0)
             derived += len(new)
             at_fixpoint = at_fixpoint and fixed
+        # per-stratum wall time: the parallel scheduler's makespan is
+        # bounded by the critical path over exactly these figures.
+        self.last_stats["stratum_ms"] = stratum_ms
         return derived, at_fixpoint
 
     def _saturate_naive(self, max_rounds: int | None) -> tuple[int, bool]:
@@ -1140,6 +1486,10 @@ class HornEngine:
             by_pred.setdefault(fact[0], set()).add(fact)
         strata = self._schedule()
         self.last_stats["strata"] = len(strata)
+        if self.workers > 1 and len(strata) > 1 and by_pred:
+            return derived + ParallelScheduler(self, self.workers).run(
+                by_pred
+            )
         for stratum in strata:
             derived += self._push_stratum(stratum, by_pred)
         return derived
@@ -1401,6 +1751,128 @@ class HornEngine:
         self._saturated = True
         self.last_stats["derived"] = derived
         return derived
+
+    # ------------------------------------------------------------------
+    # batched churn
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        adds: Iterable[Atom] = (),
+        retracts: Iterable[Atom] = (),
+        *,
+        saturate: bool = True,
+    ) -> dict[str, object]:
+        """Apply a churn batch — retractions, then additions — as one pass.
+
+        Instead of one DRed pass per retraction, the whole batch queues
+        first and the single :meth:`saturate` that follows pays one
+        overdelete/rederive pass over the union cone plus one
+        semi-naive propagation of the additions.  A fact appearing in
+        both lists ends up asserted (retract-then-add order — exactly
+        the shrink/grow diffs ``refresh_from_articulation`` produces).
+        When the queued retraction count reaches
+        :attr:`rebuild_crossover`, chasing the deletion cone is a
+        measured loss and the batch schedules a replay-from-base
+        rebuild instead (``decision == "rebuild"``).
+
+        Returns a report: ``added``/``retracted`` counts, the
+        ``decision`` (``dred`` / ``rebuild`` / ``delta`` / ``full`` /
+        ``replay`` / ``inplace`` / ``noop``), the queued retraction
+        count it was based on, the crossover in force, and — unless
+        ``saturate=False`` defers evaluation to the caller —
+        ``derived`` plus the resulting stats ``mode``.
+        """
+        retracted = self.retract_facts(retracts)
+        added = self.add_facts(adds)
+        queued = len(self._pending_retractions) + len(
+            self._pending_clause_retractions
+        )
+        crossover = self.rebuild_crossover
+        if queued and crossover is not None and queued >= crossover:
+            # saturate() will replay from base; the queues die with it.
+            self._needs_rebuild = True
+            decision = "rebuild"
+        elif queued:
+            decision = "dred"
+        elif retracted:
+            decision = "replay" if self._needs_rebuild else "inplace"
+        elif added:
+            decision = "delta" if self._saturated else "full"
+        else:
+            decision = "noop"
+        report: dict[str, object] = {
+            "added": added,
+            "retracted": retracted,
+            "queued_retractions": queued,
+            "crossover": crossover,
+            "decision": decision,
+        }
+        if saturate:
+            report["derived"] = self.saturate()
+            report["mode"] = self.last_stats["mode"]
+        return report
+
+    def calibrate_rebuild_crossover(
+        self,
+        *,
+        chain: int = 48,
+        ks: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    ) -> int:
+        """Measure this machine's DRed-vs-rebuild crossover; store it.
+
+        Times, on a synthetic transitive-closure chain, a ``k``-fact
+        batched DRed retraction against a from-scratch rebuild of the
+        surviving program for each ``k``; the first ``k`` where the
+        rebuild wins (floored at 2) becomes :attr:`rebuild_crossover`.
+        If the rebuild never wins in the measured range the crossover
+        moves past it.  Per-``k`` measurements land in
+        :attr:`last_calibration` for inspection and benchmarks.  The
+        seeded default comes from the checked-in retraction benchmark;
+        calibration replaces it with a figure from *this* machine.
+        """
+        trans = HornClause(
+            ("S", "?x", "?z"), (("S", "?x", "?y"), ("S", "?y", "?z"))
+        )
+
+        def fresh(skip: frozenset[int] = frozenset()) -> HornEngine:
+            engine = HornEngine(record_derivations=False)
+            engine.add_clause(trans)
+            engine.add_facts(
+                ("S", f"n{i}", f"n{i + 1}")
+                for i in range(chain)
+                if i not in skip
+            )
+            return engine
+
+        self.last_calibration = []
+        crossover: int | None = None
+        for k in ks:
+            if k >= chain:
+                break
+            victims = frozenset((i * chain) // k for i in range(k))
+            atoms = [("S", f"n{i}", f"n{i + 1}") for i in sorted(victims)]
+            engine = fresh()
+            engine.saturate()
+            started = perf_counter()
+            engine.retract_facts(atoms)
+            engine.saturate()
+            dred_ms = (perf_counter() - started) * 1000.0
+            started = perf_counter()
+            fresh(victims).saturate()
+            rebuild_ms = (perf_counter() - started) * 1000.0
+            self.last_calibration.append(
+                {
+                    "k": k,
+                    "dred_ms": round(dred_ms, 3),
+                    "rebuild_ms": round(rebuild_ms, 3),
+                }
+            )
+            if crossover is None and rebuild_ms < dred_ms:
+                crossover = max(k, 2)
+        if crossover is None:
+            crossover = (max(ks) if ks else DEFAULT_REBUILD_CROSSOVER) + 1
+        self.rebuild_crossover = crossover
+        return crossover
 
     def _ensure_current(self) -> None:
         if (

@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.graph import Edge
 from repro.core.ontology import Ontology
 from repro.core.relations import SUBCLASS_OF
+from repro.errors import OnionError
 
 __all__ = [
     "Mutation",
@@ -159,6 +161,14 @@ class ChurnRunResult:
     ``probe_results`` is the deterministic query trace — one
     ``(batch, term, sorted generalizations)`` row per probe — that the
     retraction-vs-rebuild regression test compares across drivers.
+    ``phase_ms`` splits the campaign's wall time by phase (``churn`` /
+    ``maintenance`` / ``refresh`` / ``probes``) and ``batch_work``
+    holds one row per engine refresh (``round``, ``mode``, the
+    ``added``/``retracted`` diff, and the saturation's ``derived`` /
+    ``overdeleted`` / ``rederived`` / ``candidates`` counters), so a
+    batched-vs-incremental comparison can attribute where the time and
+    the inference work actually went; ``work`` keeps the campaign
+    totals of the same counters.
     """
 
     batches: int = 0
@@ -168,6 +178,15 @@ class ChurnRunResult:
         default_factory=list
     )
     work: dict[str, int] = field(default_factory=dict)
+    phase_ms: dict[str, float] = field(
+        default_factory=lambda: {
+            "churn": 0.0,
+            "maintenance": 0.0,
+            "refresh": 0.0,
+            "probes": 0.0,
+        }
+    )
+    batch_work: list[dict[str, object]] = field(default_factory=list)
 
     def record_refresh(self, mode: str) -> None:
         self.refresh_modes[mode] = self.refresh_modes.get(mode, 0) + 1
@@ -181,24 +200,39 @@ def run_churn_workload(
     seed: int = 0,
     incremental: bool = True,
     probes_per_batch: int = 8,
+    batch_size: int = 1,
 ) -> ChurnRunResult:
     """Drive ``batches`` rounds of source churn through maintenance
-    and inference; answer deterministic probe queries after each.
+    and inference; answer deterministic probe queries after each
+    refresh.
 
     ``incremental=True`` keeps one :class:`OntologyInferenceEngine`
     alive across the whole campaign: growth refreshes ride delta
     propagation, shrink refreshes ride the DRed retraction pass
-    (``refresh_modes`` records which path each batch took).
+    (``refresh_modes`` records which path each refresh took).
     ``incremental=False`` is the baseline the regression test compares
-    against: a from-scratch engine build per batch.  Given equal
+    against: a from-scratch engine build per refresh.  Given equal
     inputs and ``seed``, both drivers must produce identical
     ``probe_results``.
+
+    ``batch_size`` coalesces engine refreshes: churn and maintenance
+    still run every round (the articulation trajectory is identical
+    for every ``batch_size``), but the engine is refreshed — and the
+    probes answered — only every ``batch_size``-th round (plus once at
+    the end), so the whole accumulated shrink+grow diff rides one
+    :meth:`~repro.inference.horn.HornEngine.apply_batch`.  Probe rows
+    stay tagged with the round they observed, so drivers with
+    different batch sizes agree wherever their refresh rounds line up;
+    ``batch_size=1`` reproduces the per-round campaign exactly.
     """
     from repro.core.maintenance import ArticulationMaintainer
     from repro.inference.engine import OntologyInferenceEngine
 
+    if batch_size < 1:
+        raise OnionError(f"batch_size must be >= 1, got {batch_size!r}")
     maintainer = ArticulationMaintainer(articulation)
     result = ChurnRunResult(batches=batches)
+    phase = result.phase_ms
     engine = (
         OntologyInferenceEngine.from_articulation(articulation)
         if incremental
@@ -214,24 +248,41 @@ def run_churn_workload(
     source_names = sorted(articulation.sources)
     for batch in range(batches):
         source_name = source_names[batch % len(source_names)]
+        started = perf_counter()
         report = apply_churn(
             articulation.sources[source_name],
             n_mutations=mutations_per_batch,
             seed=seed * 1009 + batch,
         )
+        phase["churn"] += (perf_counter() - started) * 1000.0
+        started = perf_counter()
         maintenance = maintainer.apply_source_changes(
             source_name, report.touched_terms()
         )
+        phase["maintenance"] += (perf_counter() - started) * 1000.0
         if maintenance.required_work:
             result.repairs += 1
+        if (batch + 1) % batch_size and batch != batches - 1:
+            continue  # edits accumulate into the next coalesced refresh
+        started = perf_counter()
         if incremental:
             refresh = engine.refresh_from_articulation(articulation)
-            result.record_refresh(str(refresh["mode"]))
         else:
             engine = OntologyInferenceEngine.from_articulation(articulation)
-            result.record_refresh(str(engine.last_refresh["mode"]))
+            refresh = engine.last_refresh
+        engine.fact_count()  # saturate here so refresh timing is honest
+        phase["refresh"] += (perf_counter() - started) * 1000.0
+        mode = str(refresh["mode"])
+        result.record_refresh(mode)
+        row: dict[str, object] = {
+            "round": batch,
+            "mode": mode,
+            "added": int(refresh.get("added", 0)),
+            "retracted": int(refresh.get("removed", 0)),
+        }
         # Deterministic probes: the first covered source terms plus the
         # articulation's own classes, in sorted order.
+        started = perf_counter()
         probes = sorted(articulation.covered_source_terms())[
             :probes_per_batch
         ]
@@ -244,6 +295,7 @@ def run_churn_workload(
         for term in probes:
             answers = tuple(sorted(engine.generalizations(term)))
             result.probe_results.append((batch, term, answers))
+        phase["probes"] += (perf_counter() - started) * 1000.0
         # last_stats is replaced per saturation; a batch whose refresh
         # queued no engine work keeps the previous dict and must not
         # re-count it.
@@ -251,5 +303,8 @@ def run_churn_workload(
         if stats is not seen_stats:
             seen_stats = stats
             for key in ("candidates", "derived", "overdeleted", "rederived"):
-                result.work[key] = result.work.get(key, 0) + int(stats[key])
+                value = int(stats[key])
+                result.work[key] = result.work.get(key, 0) + value
+                row[key] = value
+        result.batch_work.append(row)
     return result

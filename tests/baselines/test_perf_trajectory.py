@@ -1,0 +1,122 @@
+"""The perf-trajectory gate: checked-in records must not regress."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf_trajectory", _BENCH_DIR / "check_perf_trajectory.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestMetricExtraction:
+    def test_checked_in_records_yield_metrics(self, checker) -> None:
+        metrics = checker.collect_metrics(_BENCH_DIR)
+        # Every record the repo checks in must contribute headline
+        # ratios, or the gate silently watches nothing.
+        assert any(k.startswith("infer.") for k in metrics)
+        assert any(k.startswith("retract.") for k in metrics)
+        assert any(k.startswith("parallel.") for k in metrics)
+        assert all(v > 0 for v in metrics.values())
+
+    def test_missing_and_malformed_records_are_skipped(
+        self, checker, tmp_path: Path
+    ) -> None:
+        (tmp_path / "BENCH_inference.json").write_text("not json")
+        assert checker.collect_metrics(tmp_path) == {}
+
+    def test_files_filter_restricts_extraction(self, checker) -> None:
+        only = checker.collect_metrics(
+            _BENCH_DIR, files=["BENCH_retraction.json"]
+        )
+        assert only
+        assert all(k.startswith("retract.") for k in only)
+
+
+class TestCompareGate:
+    def test_within_tolerance_passes(self, checker) -> None:
+        rows, regressions = checker.compare(
+            {"m": 10.0}, {"m": 8.0}, tolerance=0.25
+        )
+        assert regressions == []
+        assert rows[0][-1] == "ok"
+
+    def test_regression_beyond_tolerance_fails(self, checker) -> None:
+        rows, regressions = checker.compare(
+            {"m": 10.0}, {"m": 7.0}, tolerance=0.25
+        )
+        assert regressions == ["m"]
+        assert rows[0][-1] == "REGRESSION"
+
+    def test_one_sided_metrics_never_fail(self, checker) -> None:
+        rows, regressions = checker.compare(
+            {"old": 5.0}, {"new": 5.0}, tolerance=0.25
+        )
+        assert regressions == []
+        assert {r[-1] for r in rows} == {"new", "not re-run"}
+
+    def test_improvements_pass(self, checker) -> None:
+        _, regressions = checker.compare({"m": 2.0}, {"m": 9.0})
+        assert regressions == []
+
+
+class TestCommandLine:
+    def test_snapshot_then_compare_round_trip(
+        self, checker, tmp_path: Path, capsys
+    ) -> None:
+        out = tmp_path / "snap.json"
+        assert checker.main(["snapshot", "--out", str(out)]) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["metrics"]
+        assert checker.main(["compare", "--baseline", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "REGRESSION" not in printed
+        assert "OK: no metric regressed" in printed
+
+    def test_compare_exits_nonzero_on_regression(
+        self, checker, tmp_path: Path, capsys
+    ) -> None:
+        inflated = {
+            name: value * 10
+            for name, value in checker.collect_metrics(_BENCH_DIR).items()
+        }
+        baseline = tmp_path / "inflated.json"
+        baseline.write_text(json.dumps({"metrics": inflated}))
+        assert (
+            checker.main(["compare", "--baseline", str(baseline)]) == 1
+        )
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_snapshot_of_empty_dir_fails(
+        self, checker, tmp_path: Path
+    ) -> None:
+        out = tmp_path / "snap.json"
+        code = checker.main(
+            ["snapshot", "--out", str(out), "--dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert not out.exists()
+
+    def test_compare_with_unreadable_baseline_fails(
+        self, checker, tmp_path: Path
+    ) -> None:
+        assert (
+            checker.main(
+                ["compare", "--baseline", str(tmp_path / "missing.json")]
+            )
+            == 1
+        )

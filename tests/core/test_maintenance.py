@@ -150,6 +150,11 @@ class TestRetractionRouting:
     ) -> None:
         engine = maintainer.inference_engine()
         engine.fact_count()  # reach a fixpoint so DRed can repair it
+        # Pin the crossover out of reach: this test is about DRed
+        # routing and extraction caching, not the batch-rebuild switch
+        # (covered below) — removing "Car" sheds ~30% of the base
+        # facts, past the measured crossover.
+        engine.engine.rebuild_crossover = 10_000
         transport.sources["carrier"].remove_term("Car")
         report = maintainer.apply_source_changes("carrier", ["Car"])
         assert report.inference_mode == "retract"
@@ -239,14 +244,34 @@ class TestSemanticChecks:
     ) -> None:
         engine = maintainer.inference_engine()
         assert engine.implies("carrier:Car", "factory:Vehicle")
+        # A deletion-repair routes through the DRed retraction delta,
+        # not a rebuild (crossover pinned out of reach — the
+        # batch-rebuild switch has its own test below).
+        engine.engine.rebuild_crossover = 10_000
         transport.sources["carrier"].remove_term("Car")
         report = maintainer.apply_source_changes("carrier", ["Car"])
-        # A deletion-repair routes through the DRed retraction delta,
-        # not a rebuild.
         assert report.inference_mode == "retract"
         # Same engine object, refreshed program: the dropped rule's
         # implication is gone.
         assert maintainer.inference_engine() is engine
+        assert not engine.implies("carrier:Car", "factory:Vehicle")
+        assert maintainer.semantic_verify() == []
+
+    def test_heavy_repair_crosses_rebuild_crossover(
+        self, maintainer: ArticulationMaintainer, transport: Articulation
+    ) -> None:
+        """A shrink whose retraction count crosses the engine's
+        measured rebuild crossover abandons the deletion cone and
+        replays from base — surfaced as ``batch-rebuild``, with the
+        same answers a DRed repair would give."""
+        engine = maintainer.inference_engine()
+        engine.fact_count()  # reach a fixpoint
+        assert engine.engine.rebuild_crossover <= 10
+        transport.sources["carrier"].remove_term("Car")
+        report = maintainer.apply_source_changes("carrier", ["Car"])
+        assert report.inference_mode == "batch-rebuild"
+        assert engine.last_refresh["removed"] > 0
+        # Semantics are unchanged by the routing choice.
         assert not engine.implies("carrier:Car", "factory:Vehicle")
         assert maintainer.semantic_verify() == []
 

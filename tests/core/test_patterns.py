@@ -289,7 +289,9 @@ class TestMatchIndexCaching:
         index2 = MatchIndex.for_graph(graph, config)
         assert index2 is index1
 
-    def test_index_rebuilt_after_mutation(self, graph: LabeledGraph) -> None:
+    def test_index_refreshed_in_place_after_mutation(
+        self, graph: LabeledGraph
+    ) -> None:
         from repro.core.patterns import MatchIndex
 
         config = MatchConfig(case_insensitive=True)
@@ -297,7 +299,9 @@ class TestMatchIndexCaching:
         assert "Car" in index1.candidates("car")
         graph.add_node("CAR2", "CAR")
         index2 = MatchIndex.for_graph(graph, config)
-        assert index2 is not index1
+        assert index2 is index1  # journal replay, not a rebuild
+        assert index2.fresh()
+        assert index2.delta_refreshes == 1
         assert "CAR2" in index2.candidates("car")
 
     def test_distinct_configs_get_distinct_indexes(
@@ -352,3 +356,95 @@ class TestMatchIndexCaching:
         # Only the oldest entry was evicted; the rest stay warm.
         assert MatchIndex.for_graph(g, configs[-1]) is indexes[-1]
         assert len(g._match_indexes) == MatchIndex._CACHE_LIMIT
+
+
+class TestIncrementalIndexMaintenance:
+    """MatchIndex journal replay: deltas patch the index in place."""
+
+    def _config(self) -> MatchConfig:
+        synonyms = MatchConfig.with_synonyms([("Car", "Auto")]).synonyms
+        return MatchConfig(synonyms=synonyms, case_insensitive=True)
+
+    def test_replay_matches_scratch_build_over_mixed_deltas(self) -> None:
+        from repro.core.patterns import MatchIndex
+
+        g = LabeledGraph()
+        for n in ["Car", "car", "Truck", "Auto", "Bus"]:
+            g.add_node(n)
+        g.add_edge("Car", "uses", "Truck")
+        config = self._config()
+        index = MatchIndex.for_graph(g, config)
+        # Warm every lazy structure so the replay has to patch them all.
+        index.candidates("Car")
+        index.all_nodes()
+        index.pair_labels("Car", "Truck")
+
+        g.add_node("auto2", "auto")       # joins via synonym + case
+        g.add_node("Plane")
+        g.relabel_node("Bus", "Car")      # joins via relabel
+        g.remove_node("Truck")            # leaves (and sheds its edge)
+        g.add_edge("Car", "tows", "Plane")
+
+        refreshed = MatchIndex.for_graph(g, config)
+        assert refreshed is index
+        assert refreshed.fresh()
+        assert refreshed.delta_refreshes == 1
+        scratch = MatchIndex(g, config)
+        assert refreshed.candidates("Car") == scratch.candidates("Car")
+        assert refreshed.all_nodes() == scratch.all_nodes()
+        assert refreshed.pair_labels("Car", "Plane") == {"tows"}
+        assert not refreshed.pair_labels("Car", "Truck")
+
+    def test_strategies_agree_after_delta_refresh(self) -> None:
+        g = LabeledGraph()
+        for n in ["Car", "Truck", "Bus"]:
+            g.add_node(n)
+        g.add_edge("Car", "uses", "Truck")
+        config = self._config()
+        pattern = Pattern.path(["Car", "Truck"], edge_label="uses")
+        baseline = [b.mapping for b in find_matches(pattern, g, config)]
+        assert baseline
+
+        g.add_node("Auto1", "Auto")
+        g.add_edge("Auto1", "uses", "Truck")
+        indexed = [
+            b.mapping
+            for b in find_matches(pattern, g, config, strategy="indexed")
+        ]
+        scanned = [
+            b.mapping
+            for b in find_matches(pattern, g, config, strategy="scan")
+        ]
+        assert indexed == scanned
+        assert {"n0": "Auto1", "n1": "Truck"} in indexed
+
+    def test_journal_overflow_falls_back_to_rebuild(self) -> None:
+        from repro.core.graph import _JOURNAL_RETENTION
+        from repro.core.patterns import MatchIndex
+
+        g = LabeledGraph()
+        g.add_node("Car")
+        config = self._config()
+        index = MatchIndex.for_graph(g, config)
+        index.candidates("Car")
+        version = g.version
+        for i in range(_JOURNAL_RETENTION + 10):
+            g.add_node(f"bulk{i}", "Bulk")
+        assert g.journal_since(version) is None
+        rebuilt = MatchIndex.for_graph(g, config)
+        assert rebuilt is not index
+        assert rebuilt.delta_refreshes == 0
+        assert rebuilt.candidates("Bulk") == MatchIndex(g, config).candidates(
+            "Bulk"
+        )
+
+    def test_journal_since_semantics(self) -> None:
+        g = LabeledGraph()
+        g.add_node("A")
+        v = g.version
+        assert g.journal_since(v) == []
+        g.add_node("B")
+        g.add_edge("A", "rel", "B")
+        rows = g.journal_since(v)
+        assert [row[1] for row in rows] == ["add_node", "add_edge"]
+        assert rows[-1][0] == g.version

@@ -1,0 +1,198 @@
+"""Parallel stratum saturation: parity, DAG structure, worker tasks.
+
+The contract is bit-for-bit: for every program and churn script, the
+engine under ``workers`` ∈ {2, 4} derives exactly the fact set the
+serial engine (and the naive-strategy oracle) derives — full
+saturation, incremental delta propagation and DRed retraction alike.
+The hypothesis suite drives that over random scripts; the unit tests
+pin the stratum dependency DAG and exercise the pool task in-process.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rules import HornClause
+from repro.errors import InferenceError
+from repro.inference.horn import (
+    HornEngine,
+    ParallelScheduler,
+    _saturate_stratum_task,
+    _stratum_dag,
+)
+from repro.workloads.generator import wide_program
+from tests.support.churn_scripts import (
+    churn_scripts,
+    oracle_states,
+    replay_incremental,
+)
+
+
+def _wide_engine(workers: int, *, record: bool = True) -> HornEngine:
+    program = wide_program(3, 6)
+    engine = HornEngine(workers=workers, record_derivations=record)
+    engine.add_clauses(program.clauses)
+    engine.add_facts(program.facts)
+    return engine
+
+
+class TestParallelParity:
+    @settings(max_examples=20, deadline=None)
+    @given(script=churn_scripts())
+    def test_workers_match_serial_and_oracle(self, script) -> None:
+        """workers ∈ {1, 2, 4} agree with each other, with the naive
+        strategy, and with the from-scratch oracle at every checkpoint."""
+        expected = oracle_states(script, saturate_every=3)
+        _, serial = replay_incremental(script, saturate_every=3)
+        assert serial == expected
+        _, naive = replay_incremental(
+            script, saturate_every=3, strategy="naive"
+        )
+        assert naive == expected
+        for workers in (2, 4):
+            _, parallel = replay_incremental(
+                script, saturate_every=3, workers=workers
+            )
+            assert parallel == expected
+
+    def test_full_saturation_parity_on_wide_program(self) -> None:
+        serial = _wide_engine(1)
+        serial.saturate()
+        parallel = _wide_engine(4)
+        parallel.saturate()
+        assert parallel.facts() == serial.facts()
+        assert parallel.last_stats["tasks"] >= 6  # every stratum shipped
+        assert parallel.last_stats["shipped_facts"] > 0
+        program = wide_program(3, 6)
+        assert len(serial.facts()) == program.closure_size()
+
+    def test_explanations_survive_the_pool(self) -> None:
+        """Derivations recorded in workers replay through explain()."""
+        serial = _wide_engine(1)
+        serial.saturate()
+        parallel = _wide_engine(4)
+        parallel.saturate()
+        derived = ("Q0", "c0_3", "c0_0")  # symmetric lift of P0 closure
+        assert sorted(parallel.explain(derived)) == sorted(
+            serial.explain(derived)
+        )
+
+    def test_incremental_delta_parity(self) -> None:
+        serial = _wide_engine(1)
+        serial.saturate()
+        parallel = _wide_engine(4)
+        parallel.saturate()
+        new_fact = ("P1", "c1_6", "c1_99")
+        serial.add_fact(new_fact)
+        parallel.add_fact(new_fact)
+        assert serial.saturate() == parallel.saturate()
+        assert parallel.facts() == serial.facts()
+        assert parallel.last_stats["mode"] == "incremental"
+
+    def test_retraction_parity_under_workers(self) -> None:
+        serial = _wide_engine(1)
+        serial.saturate()
+        parallel = _wide_engine(4)
+        parallel.saturate()
+        victim = ("P2", "c2_2", "c2_3")
+        for engine in (serial, parallel):
+            engine.retract_fact(victim)
+            engine.saturate()
+        assert parallel.facts() == serial.facts()
+
+
+class TestSchedulerMechanics:
+    def test_workers_must_be_positive(self) -> None:
+        with pytest.raises(InferenceError):
+            HornEngine(workers=0)
+        with pytest.raises(InferenceError):
+            ParallelScheduler(HornEngine(), 0)
+
+    def test_single_stratum_program_stays_serial(self) -> None:
+        """One stratum has no parallelism; the pool is never engaged."""
+        engine = HornEngine(workers=4)
+        engine.add_clause(
+            HornClause(
+                ("S", "?x", "?z"), (("S", "?x", "?y"), ("S", "?y", "?z"))
+            )
+        )
+        engine.add_facts([("S", "a", "b"), ("S", "b", "c")])
+        engine.saturate()
+        assert engine.last_stats["strata"] == 1
+        assert engine.last_stats["tasks"] == 0
+        assert engine.holds(("S", "a", "c"))
+
+    def test_scheduler_on_empty_program(self) -> None:
+        engine = HornEngine(workers=2)
+        assert ParallelScheduler(engine, 2).run() == 0
+
+
+class TestStratumDag:
+    def test_wide_program_dag_shape(self) -> None:
+        program = wide_program(3, 4)
+        engine = HornEngine()
+        engine.add_clauses(program.clauses)
+        strata, deps = _stratum_dag(engine._compiled)
+        assert len(strata) == 6  # one P and one Q stratum per family
+        heads = [{cc.head_pred for cc in stratum} for stratum in strata]
+        # Each derived predicate is owned by exactly one stratum.
+        assert all(len(h) == 1 for h in heads)
+        owner = {next(iter(h)): i for i, h in enumerate(heads)}
+        for family in range(3):
+            p, q = owner[f"P{family}"], owner[f"Q{family}"]
+            assert deps[q] == {p}  # Q depends only on its own P
+            assert deps[p] == set()  # P strata are independent roots
+
+    def test_flat_scheduling_has_no_dag(self) -> None:
+        engine = HornEngine(scheduling="flat")
+        engine.add_clauses(wide_program(2, 3).clauses)
+        strata, deps = engine.stratum_dag()
+        assert len(strata) == 1
+        assert deps == [set()]
+
+
+class TestStratumTaskInProcess:
+    """The pool task, called directly: what each worker computes."""
+
+    def _stratum(self) -> list:
+        engine = HornEngine()
+        engine.add_clause(
+            HornClause(
+                ("S", "?x", "?z"), (("S", "?x", "?y"), ("S", "?y", "?z"))
+            )
+        )
+        return list(engine._compiled)
+
+    def test_full_mode_saturates_the_partition(self) -> None:
+        facts = [("S", "a", "b"), ("S", "b", "c"), ("S", "c", "d")]
+        new, derivations, counters = _saturate_stratum_task(
+            (tuple(self._stratum()), facts, None, True)
+        )
+        assert set(new) == {
+            ("S", "a", "c"),
+            ("S", "b", "d"),
+            ("S", "a", "d"),
+        }
+        assert {fact for fact, _, _ in derivations} == set(new)
+        assert all(index == 0 for _, index, _ in derivations)
+        assert counters["rounds"] >= 2
+        assert counters["candidates"] > 0
+
+    def test_delta_mode_restricts_to_the_shard(self) -> None:
+        facts = [("S", "a", "b"), ("S", "b", "c"), ("S", "a", "c")]
+        delta_items = ((("S"), (("S", "b", "c"),)),)
+        new, _, _ = _saturate_stratum_task(
+            (tuple(self._stratum()), facts, delta_items, False)
+        )
+        # Only joins touching the delta run; a-b x b-c -> a-c exists
+        # already, so nothing new arrives.
+        assert new == []
+
+    def test_no_record_means_no_derivations(self) -> None:
+        facts = [("S", "a", "b"), ("S", "b", "c")]
+        new, derivations, _ = _saturate_stratum_task(
+            (tuple(self._stratum()), facts, None, False)
+        )
+        assert new == [("S", "a", "c")]
+        assert derivations == []

@@ -143,15 +143,19 @@ def replay_incremental(
     scheduling: str = "stratified",
     saturate_every: int = 1,
     seed_clauses: tuple[HornClause, ...] = (),
+    workers: int = 1,
 ) -> tuple[HornEngine, list[set[Atom]]]:
     """Replay a script into one engine; snapshot facts per checkpoint.
 
     ``saturate_every=k`` saturates (and snapshots) after every ``k``-th
     operation and once more at the end, so parity is checked mid-flight
     — including states where additions and retractions are queued
-    together — not only after the final op.
+    together — not only after the final op.  ``workers>1`` routes
+    every saturation through the parallel stratum scheduler.
     """
-    engine = HornEngine(strategy=strategy, scheduling=scheduling)
+    engine = HornEngine(
+        strategy=strategy, scheduling=scheduling, workers=workers
+    )
     engine.add_clauses(seed_clauses)
     snapshots: list[set[Atom]] = []
     for index, op in enumerate(script):

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import OnionError
 from repro.workloads.churn import run_churn_workload
 from repro.workloads.paper_example import generate_transport_articulation
 
@@ -71,3 +72,62 @@ def test_probe_trace_is_deterministic() -> None:
     )
     assert first.probe_results == second.probe_results
     assert first.refresh_modes == second.refresh_modes
+
+
+class TestBatchedCampaign:
+    def test_batch_size_must_be_positive(self) -> None:
+        with pytest.raises(OnionError):
+            run_churn_workload(
+                generate_transport_articulation(), batch_size=0
+            )
+
+    def test_batching_coalesces_refreshes(self) -> None:
+        per_op = run_churn_workload(
+            generate_transport_articulation(), batches=6, seed=0
+        )
+        batched = run_churn_workload(
+            generate_transport_articulation(), batches=6, seed=0, batch_size=3
+        )
+        # One refresh row per round vs one per coalesced window.
+        assert len(per_op.batch_work) == 6
+        assert len(batched.batch_work) == 2
+        assert [row["round"] for row in batched.batch_work] == [2, 5]
+
+    def test_batched_probes_agree_at_shared_rounds(self) -> None:
+        per_op = run_churn_workload(
+            generate_transport_articulation(), batches=6, seed=2
+        )
+        batched = run_churn_workload(
+            generate_transport_articulation(), batches=6, seed=2, batch_size=2
+        )
+        shared = {
+            (row, term): answers
+            for row, term, answers in per_op.probe_results
+        }
+        assert batched.probe_results  # rounds 1, 3, 5 observed
+        for row, term, answers in batched.probe_results:
+            assert shared[(row, term)] == answers
+
+    def test_final_round_always_refreshed(self) -> None:
+        # batch_size larger than the campaign: exactly one refresh, at
+        # the last round, carrying the whole accumulated diff.
+        result = run_churn_workload(
+            generate_transport_articulation(), batches=4, seed=1, batch_size=9
+        )
+        assert len(result.batch_work) == 1
+        assert result.batch_work[0]["round"] == 3
+
+    def test_phase_timings_cover_all_phases(self) -> None:
+        result = run_churn_workload(
+            generate_transport_articulation(), batches=3, seed=0, batch_size=3
+        )
+        assert set(result.phase_ms) == {
+            "churn",
+            "maintenance",
+            "refresh",
+            "probes",
+        }
+        assert all(value >= 0.0 for value in result.phase_ms.values())
+        # Churn and maintenance ran every round even though the engine
+        # refreshed only once.
+        assert len(result.batch_work) == 1
