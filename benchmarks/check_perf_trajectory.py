@@ -119,11 +119,28 @@ def _metrics_articulation(payload: dict) -> dict[str, float]:
     return {k: v for k, v in out.items() if v is not None}
 
 
+def _metrics_resilience(payload: dict) -> dict[str, float]:
+    w = payload.get("workloads", {})
+    out: dict[str, float | None] = {}
+    overhead = w.get("fault_free_overhead", {})
+    # ~1.0 when the armor is free; drops as deadline/retry machinery
+    # starts costing fault-free saturations real time
+    out["resil.faultfree_efficiency"] = _ratio(
+        overhead.get("baseline_ms"), overhead.get("hardened_ms")
+    )
+    chaos = w.get("chaos_campaign", {})
+    # 1.0 or the gate fails: parity under chaos is a correctness
+    # property wearing a metric's clothes
+    out["resil.chaos_parity"] = chaos.get("parity")
+    return {k: v for k, v in out.items() if v is not None}
+
+
 EXTRACTORS = {
     "BENCH_inference.json": _metrics_inference,
     "BENCH_retraction.json": _metrics_retraction,
     "BENCH_parallel.json": _metrics_parallel,
     "BENCH_articulation.json": _metrics_articulation,
+    "BENCH_resilience.json": _metrics_resilience,
 }
 
 

@@ -26,7 +26,12 @@ from repro.core.relations import (
     RelationRegistry,
     standard_registry,
 )
-from repro.errors import ConsistencyError, OntologyError, TermNotFoundError
+from repro.errors import (
+    ConsistencyError,
+    GraphError,
+    OntologyError,
+    TermNotFoundError,
+)
 
 __all__ = ["Ontology", "qualify", "split_qualified", "QUALIFIER"]
 
@@ -235,7 +240,9 @@ class Ontology:
                 continue
             try:
                 self.graph.topological_order(labels={code})
-            except Exception:
+            except GraphError:
+                # the one expected failure: a cycle over this label set.
+                # Any other exception is a bug and must propagate.
                 issues.append(f"cycle detected over transitive relation {code!r}")
         return issues
 

@@ -50,10 +50,19 @@ class GoalDirectedEngine:
     """Answers goals by saturating only the relevant program slice."""
 
     def __init__(
-        self, *, strategy: str = "seminaive", workers: int = 1
+        self,
+        *,
+        strategy: str = "seminaive",
+        workers: int = 1,
+        retry_policy=None,
+        fault_plan=None,
     ) -> None:
         self.strategy = strategy
         self.workers = workers
+        # reliability knobs, threaded into every goal slice so a
+        # parallel slice saturation rides the same hardened scheduler
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
         self._store = FactStore()  # master base facts, indexes shared
         self._clauses: list[HornClause] = []
         self._clause_set: set[HornClause] = set()
@@ -178,6 +187,8 @@ class GoalDirectedEngine:
         engine = HornEngine(
             strategy=self.strategy,
             workers=self.workers,
+            retry_policy=self.retry_policy,
+            fault_plan=self.fault_plan,
             store=FactStore(base=self._store, visible=relevant),
         )
         n_clauses = 0

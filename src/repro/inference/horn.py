@@ -79,15 +79,21 @@ from __future__ import annotations
 
 import atexit
 import json
+import os
+import time
 from collections import defaultdict
 from collections.abc import Iterable, Iterator, Mapping
 from concurrent import futures as _futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from time import perf_counter
+from time import monotonic, perf_counter
 
 from repro.core.rules import HornClause
 from repro.errors import InferenceError
+from repro.reliability.faults import FaultInjected, FaultPlan, TaskFault
+from repro.reliability.journal import ChurnJournal
+from repro.reliability.policy import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "Atom",
@@ -730,8 +736,23 @@ def _saturate_stratum_task(
     derivations as ``(fact, clause-index-in-stratum, premises)``
     triples (clause objects stay on the parent side), and the work
     counters to fold into the parent's stats.
+
+    An optional fifth payload element is a chaos-testing
+    :class:`~repro.reliability.faults.TaskFault` directive: ``crash``
+    hard-exits the worker (the parent sees ``BrokenProcessPool``),
+    ``hang``/``slow`` sleep (tripping — or staying inside — the
+    scheduler's per-task deadline), ``error`` raises (the stand-in for
+    pickle/transport failures, which surface identically).
     """
-    stratum, facts, delta_items, record = payload
+    stratum, facts, delta_items, record, *rest = payload
+    fault: TaskFault | None = rest[0] if rest else None
+    if fault is not None:
+        if fault.kind == "crash":
+            os._exit(13)  # simulate the worker process dying mid-task
+        if fault.kind in ("hang", "slow"):
+            time.sleep(fault.seconds)
+        elif fault.kind == "error":
+            raise FaultInjected("injected stratum-task failure")
     stratum = list(stratum)
     store = FactStore()
     for atom in facts:
@@ -762,18 +783,55 @@ def _saturate_stratum_task(
 _POOL_CACHE: dict[int, _futures.ProcessPoolExecutor] = {}
 
 
+def _pool_unusable(pool: _futures.ProcessPoolExecutor) -> bool:
+    """Is this executor broken or shut down (submit would raise)?
+
+    ``_broken`` carries the BrokenProcessPool message after a worker
+    died; ``_shutdown_thread`` flips once shutdown() ran.  Both are
+    CPython implementation details, so absence reads as healthy — the
+    worst case is the pre-check behavior (submit raises and the
+    scheduler's recovery path respawns).
+    """
+    return bool(getattr(pool, "_broken", False)) or bool(
+        getattr(pool, "_shutdown_thread", False)
+    )
+
+
 def _shared_pool(workers: int) -> _futures.ProcessPoolExecutor:
     """One process pool per worker count, reused across saturations.
 
     Workers are stateless (every task ships its whole input), so the
     pool can be shared by every engine in the process and the fork
-    cost is paid once per worker count, not once per query.
+    cost is paid once per worker count, not once per query.  A cached
+    pool that broke (a worker crashed) or was shut down is evicted and
+    replaced here, so one crash never poisons later parallel runs.
     """
     pool = _POOL_CACHE.get(workers)
+    if pool is not None and _pool_unusable(pool):
+        _evict_pool(workers, pool)
+        pool = None
     if pool is None:
         pool = _futures.ProcessPoolExecutor(max_workers=workers)
         _POOL_CACHE[workers] = pool
     return pool
+
+
+def _evict_pool(
+    workers: int, pool: _futures.ProcessPoolExecutor | None = None
+) -> bool:
+    """Drop (and shut down) the cached pool for ``workers``.
+
+    When ``pool`` is given, evict only if the cache still holds that
+    exact executor — two schedulers discovering the same broken pool
+    must not tear down its freshly spawned replacement.  Returns True
+    when an entry was evicted.
+    """
+    cached = _POOL_CACHE.get(workers)
+    if cached is None or (pool is not None and cached is not pool):
+        return False
+    del _POOL_CACHE[workers]
+    cached.shutdown(wait=False, cancel_futures=True)
+    return True
 
 
 def _shutdown_pools() -> None:
@@ -808,6 +866,19 @@ class ParallelScheduler:
     guarantee: a stratum's input shard is final once its dependencies
     have completed, because only they (or the EDB seeds) can feed its
     body predicates.
+
+    The scheduler survives its workers.  Every task carries a
+    deadline (:attr:`RetryPolicy.task_timeout`); a task that times
+    out, dies with its worker (``BrokenProcessPool``), is cancelled by
+    a pool respawn, or raises is retried up to
+    :attr:`RetryPolicy.max_retries` times with exponential backoff —
+    respawning the shared pool when it broke or when a hung worker may
+    never free its slot.  A stratum that exhausts its retries is
+    *degraded*: re-run serially in-process through the exact code path
+    the ``workers=1`` engine uses, so ``workers=N`` can only ever
+    change speed, never results.  ``last_stats`` reports the ride
+    honestly: ``retries`` / ``timeouts`` / ``pool_respawns`` /
+    ``degraded_strata``.
     """
 
     def __init__(self, engine: HornEngine, workers: int) -> None:
@@ -815,6 +886,8 @@ class ParallelScheduler:
             raise InferenceError(f"workers must be >= 1, got {workers!r}")
         self.engine = engine
         self.workers = workers
+        self.retry_policy = engine.retry_policy or DEFAULT_RETRY_POLICY
+        self.fault_plan = engine.fault_plan
 
     def run(self, by_pred: dict[str, set[Atom]] | None = None) -> int:
         """Saturate (``by_pred=None``) or push deltas; returns #derived."""
@@ -827,6 +900,8 @@ class ParallelScheduler:
             return 0
         incremental = by_pred is not None
         record = engine.record_derivations
+        policy = self.retry_policy
+        plan = self.fault_plan
         n = len(strata)
         blockers = [len(dep) for dep in deps]
         dependents: list[list[int]] = [[] for _ in range(n)]
@@ -846,6 +921,8 @@ class ParallelScheduler:
         derived = 0
         ready = [i for i in range(n) if not blockers[i]]
         in_flight: dict[_futures.Future, int] = {}
+        deadlines: dict[_futures.Future, float] = {}
+        attempts = [0] * n
         pool = _shared_pool(self.workers)
 
         def release(i: int) -> None:
@@ -853,6 +930,48 @@ class ParallelScheduler:
                 blockers[j] -= 1
                 if not blockers[j]:
                     ready.append(j)
+
+        def respawn() -> None:
+            """Replace the (broken or hung) shared pool with a fresh one.
+
+            Eviction is identity-guarded, so two discoveries of the
+            same dead pool respawn once; pending tasks on the old pool
+            are cancelled (their strata retry on the new pool) while
+            already-running ones may still complete and merge normally.
+            """
+            nonlocal pool
+            if _evict_pool(self.workers, pool):
+                stats["pool_respawns"] += 1
+            pool = _shared_pool(self.workers)
+
+        def degrade(i: int) -> None:
+            """Retries exhausted: run the stratum serially in-process.
+
+            Exactly the serial engine's own evaluation — same store,
+            same delta discipline — so degradation preserves the
+            parity contract by construction.
+            """
+            nonlocal derived
+            stats["degraded_strata"] += 1
+            if incremental:
+                derived += engine._push_stratum(strata[i], by_pred)
+            else:
+                new, _ = engine._eval_stratum(
+                    strata[i], engine._initial_delta(strata[i])
+                )
+                derived += len(new)
+            release(i)
+
+        def failed(i: int) -> None:
+            attempts[i] += 1
+            if attempts[i] > policy.max_retries:
+                degrade(i)
+                return
+            stats["retries"] += 1
+            delay = policy.delay(attempts[i] - 1)
+            if delay:
+                time.sleep(delay)
+            ready.append(i)
 
         def dispatch(i: int) -> None:
             delta_items = None
@@ -872,20 +991,70 @@ class ParallelScheduler:
             ]
             stats["tasks"] += 1
             stats["shipped_facts"] += len(facts)
-            payload = (tuple(strata[i]), facts, delta_items, record)
-            in_flight[pool.submit(_saturate_stratum_task, payload)] = i
+            fault = plan.task_fault() if plan is not None else None
+            payload = (tuple(strata[i]), facts, delta_items, record, fault)
+            try:
+                future = pool.submit(_saturate_stratum_task, payload)
+            except (BrokenProcessPool, RuntimeError):
+                # the pool died between health check and submit
+                respawn()
+                failed(i)
+                return
+            in_flight[future] = i
+            if policy.task_timeout is not None:
+                deadlines[future] = monotonic() + policy.task_timeout
 
         while ready or in_flight:
             while ready:
                 dispatch(ready.pop())
             if not in_flight:
-                break
+                continue  # releases/degradations may have refilled ready
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines.values()) - monotonic())
             done, _ = _futures.wait(
-                in_flight, return_when=_futures.FIRST_COMPLETED
+                in_flight, timeout=timeout,
+                return_when=_futures.FIRST_COMPLETED,
             )
+            if not done:
+                # nothing completed before the nearest deadline: time
+                # out every overdue task and retry it elsewhere
+                now = monotonic()
+                expired = [
+                    future
+                    for future, deadline in deadlines.items()
+                    if future in in_flight and deadline <= now
+                ]
+                if expired and policy.respawn_on_timeout:
+                    # a hung worker may never free its slot — tear the
+                    # pool down so retries do not queue behind it
+                    respawn()
+                for future in expired:
+                    i = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    stats["timeouts"] += 1
+                    failed(i)
+                continue
             for future in done:
                 i = in_flight.pop(future)
-                new, derivations, counters = future.result()
+                deadlines.pop(future, None)
+                try:
+                    new, derivations, counters = future.result()
+                except BrokenProcessPool:
+                    respawn()
+                    failed(i)
+                    continue
+                except _futures.CancelledError:
+                    # collateral of a respawn's cancel_futures
+                    failed(i)
+                    continue
+                except Exception:
+                    # injected task error, pickle/transport failure, or
+                    # a genuine bug — retries first, and the serial
+                    # degradation pass will surface anything
+                    # deterministic in-process
+                    failed(i)
+                    continue
                 for fact in new:
                     if store.add(fact):
                         derived += 1
@@ -968,6 +1137,10 @@ def _new_stats(mode: str) -> dict[str, int | str]:
         "rederived": 0,  # overdeleted facts restored by rederivation
         "tasks": 0,  # strata dispatched to the process pool
         "shipped_facts": 0,  # facts pickled across to workers
+        "retries": 0,  # failed/timed-out tasks re-dispatched
+        "timeouts": 0,  # tasks that blew their per-task deadline
+        "pool_respawns": 0,  # broken/hung pools torn down and replaced
+        "degraded_strata": 0,  # strata re-run serially after retries
     }
 
 
@@ -993,6 +1166,16 @@ class HornEngine:
     (:func:`seed_rebuild_crossover`), and
     :meth:`calibrate_rebuild_crossover` re-measures it on the current
     machine.
+
+    Reliability knobs: ``retry_policy`` governs the parallel
+    scheduler's per-task timeout, bounded retries, and backoff
+    (``None`` takes :data:`~repro.reliability.policy.DEFAULT_RETRY_POLICY`);
+    ``fault_plan`` threads seeded chaos-testing faults through the
+    runtime's injection hooks (``None`` — the default — injects
+    nothing and costs a single identity check per site); ``journal``
+    attaches a :class:`~repro.reliability.journal.ChurnJournal` that
+    makes :meth:`apply_batch` crash-safe by write-ahead logging every
+    diff before it mutates the engine.
     """
 
     def __init__(
@@ -1004,6 +1187,9 @@ class HornEngine:
         store: FactStore | None = None,
         workers: int = 1,
         rebuild_crossover: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        journal: ChurnJournal | None = None,
     ) -> None:
         if strategy not in ("seminaive", "naive"):
             raise InferenceError(f"unknown evaluation strategy {strategy!r}")
@@ -1020,6 +1206,9 @@ class HornEngine:
             if rebuild_crossover is None
             else rebuild_crossover
         )
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        self.journal = journal
         self.last_calibration: list[dict[str, float]] = []
         self._store = store if store is not None else FactStore()
         self._clauses: list[HornClause] = []
@@ -1151,6 +1340,10 @@ class HornEngine:
     def base_facts(self) -> set[Atom]:
         """A fresh copy of the asserted (extensional) fact set."""
         return set(self._base_facts)
+
+    def clauses(self) -> tuple[HornClause, ...]:
+        """The program's clauses, in insertion order (a copy)."""
+        return tuple(self._clauses)
 
     @property
     def is_saturated(self) -> bool:
@@ -1781,7 +1974,31 @@ class HornEngine:
         count it was based on, the crossover in force, and — unless
         ``saturate=False`` defers evaluation to the caller —
         ``derived`` plus the resulting stats ``mode``.
+
+        With a :class:`~repro.reliability.journal.ChurnJournal`
+        attached the batch is crash-safe: the coalesced diff is
+        durably journaled *before* any mutation, and committed once
+        the batch (and its saturation) completed — so a process dying
+        anywhere inside this method loses nothing;
+        :meth:`ChurnJournal.recover` replays the journal to the
+        fixpoint this batch was driving toward.  The report then
+        carries the batch's ``journal_seq``.
         """
+        journal = self.journal
+        seq: int | None = None
+        if journal is not None:
+            # materialize before journaling: the iterables are
+            # consumed twice (once to disk, once into the engine)
+            adds = list(adds)
+            retracts = list(retracts)
+            seq = journal.begin(adds, retracts)
+        if self.fault_plan is not None and self.fault_plan.batch_crash():
+            # chaos hook: the diff is journaled, the engine untouched —
+            # exactly the state a process crash here would leave behind
+            raise FaultInjected(
+                "injected process crash mid-apply_batch (diff journaled, "
+                "engine not yet mutated)"
+            )
         retracted = self.retract_facts(retracts)
         added = self.add_facts(adds)
         queued = len(self._pending_retractions) + len(
@@ -1810,6 +2027,12 @@ class HornEngine:
         if saturate:
             report["derived"] = self.saturate()
             report["mode"] = self.last_stats["mode"]
+        if seq is not None:
+            # the batch is fully folded in (and, when saturate=True, at
+            # its fixpoint): a recovery from here on replays it as
+            # committed history instead of a crash victim
+            journal.commit(seq)
+            report["journal_seq"] = seq
         return report
 
     def calibrate_rebuild_crossover(

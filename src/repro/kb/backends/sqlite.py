@@ -28,6 +28,7 @@ import json
 import math
 import re
 import sqlite3
+import time
 from collections.abc import Callable, Iterable, Iterator
 from contextlib import contextmanager
 from pathlib import Path
@@ -35,8 +36,19 @@ from pathlib import Path
 from repro.errors import KnowledgeBaseError
 from repro.kb.backends.base import StorageBackend, matches_conditions
 from repro.kb.instances import Instance
+from repro.reliability.faults import FaultPlan
+from repro.reliability.policy import SQLITE_RETRY_POLICY, RetryPolicy
 
 __all__ = ["SQLiteBackend", "condition_to_sql"]
+
+# OperationalError messages that mean "try again", not "give up":
+# another connection holds the lock (or the shared cache is busy).
+_LOCKED_MARKERS = ("locked", "busy")
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc).lower()
+    return any(marker in message for marker in _LOCKED_MARKERS)
 
 # Attribute names are stored lowercase; only plain identifiers are
 # interpolated into JSON paths (everything else falls back to Python).
@@ -110,24 +122,68 @@ class SQLiteBackend(StorageBackend):
     ordered = True
     kind = "sqlite"
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        *,
+        busy_timeout_ms: int = 5000,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         super().__init__()
         self.path = str(path)
+        self._retry = retry_policy or SQLITE_RETRY_POLICY
+        self._fault_plan = fault_plan
+        #: locked-database retries performed (observability/tests)
+        self.lock_retries = 0
         # autocommit: every mutation is durable immediately; bulk()
         # wraps loads in one transaction.
         self._conn = sqlite3.connect(self.path, isolation_level=None)
-        self._conn.execute(
+        # first line of defence: SQLite itself waits out a writer
+        # before surfacing "database is locked"; the _execute retry
+        # loop is the second, for busy shared caches and injected
+        # faults that the pragma cannot absorb.
+        self._conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        self._execute(
             "CREATE TABLE IF NOT EXISTS instances ("
             " instance_id TEXT PRIMARY KEY,"
             " cls TEXT NOT NULL,"
             " data TEXT NOT NULL)"
         )
-        self._conn.execute(
+        self._execute(
             "CREATE INDEX IF NOT EXISTS idx_instances_cls"
             " ON instances (cls)"
         )
         #: last executed scan SQL, for explain/debugging/tests
         self.last_sql: str | None = None
+
+    def _execute(self, sql: str, params: tuple | list = ()) -> sqlite3.Cursor:
+        """Execute with bounded backoff-retry on transient lock errors.
+
+        Non-lock OperationalErrors (and every other exception) raise
+        immediately; a lock that outlives ``max_retries`` attempts
+        raises the final OperationalError unchanged.
+        """
+        inject = (
+            self._fault_plan is not None and self._fault_plan.sqlite_fault()
+        )
+        attempt = 0
+        while True:
+            try:
+                if inject:
+                    # one transient failure, handled by the very same
+                    # retry path a real contended database would take
+                    inject = False
+                    raise sqlite3.OperationalError(
+                        "database is locked (injected)"
+                    )
+                return self._conn.execute(sql, params)
+            except sqlite3.OperationalError as exc:
+                if not _is_locked(exc) or attempt >= self._retry.max_retries:
+                    raise
+                self.lock_retries += 1
+                time.sleep(self._retry.delay(attempt))
+                attempt += 1
 
     # ------------------------------------------------------------------
     # mutation
@@ -143,7 +199,7 @@ class SQLiteBackend(StorageBackend):
             ) from exc
 
     def insert(self, instance: Instance) -> None:
-        self._conn.execute(
+        self._execute(
             "INSERT OR REPLACE INTO instances (instance_id, cls, data)"
             " VALUES (?, ?, ?)",
             (instance.instance_id, instance.cls, self._encode(instance)),
@@ -153,24 +209,32 @@ class SQLiteBackend(StorageBackend):
         instance = self.get(instance_id)
         if instance is None:
             return None
-        self._conn.execute(
+        self._execute(
             "DELETE FROM instances WHERE instance_id = ?", (instance_id,)
         )
         return instance
 
     def clear(self) -> None:
-        self._conn.execute("DELETE FROM instances")
+        self._execute("DELETE FROM instances")
 
     @contextmanager
     def bulk(self) -> Iterator[None]:
-        """Group many inserts into one transaction (bulk loading)."""
-        self._conn.execute("BEGIN IMMEDIATE")
+        """Group many inserts into one transaction (bulk loading).
+
+        Every exception path rolls back: the body raising, the COMMIT
+        itself failing, even an injected lock error mid-insert — the
+        ``in_transaction`` guard means a rollback is attempted exactly
+        when a transaction is actually open, so no exception can leave
+        the connection wedged inside a stale BEGIN.
+        """
+        self._execute("BEGIN IMMEDIATE")
         try:
             yield
+            self._execute("COMMIT")
         except BaseException:
-            self._conn.execute("ROLLBACK")
+            if self._conn.in_transaction:
+                self._conn.execute("ROLLBACK")
             raise
-        self._conn.execute("COMMIT")
 
     # ------------------------------------------------------------------
     # point reads
@@ -181,7 +245,7 @@ class SQLiteBackend(StorageBackend):
         return Instance(instance_id, cls, json.loads(data))
 
     def get(self, instance_id: str) -> Instance | None:
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT instance_id, cls, data FROM instances"
             " WHERE instance_id = ?",
             (instance_id,),
@@ -193,7 +257,7 @@ class SQLiteBackend(StorageBackend):
         if not isinstance(instance_id, str):
             return False
         return (
-            self._conn.execute(
+            self._execute(
                 "SELECT 1 FROM instances WHERE instance_id = ?",
                 (instance_id,),
             ).fetchone()
@@ -201,13 +265,13 @@ class SQLiteBackend(StorageBackend):
         )
 
     def __len__(self) -> int:
-        (count,) = self._conn.execute(
+        (count,) = self._execute(
             "SELECT COUNT(*) FROM instances"
         ).fetchone()
         return count
 
     def __iter__(self) -> Iterator[Instance]:
-        cursor = self._conn.execute(
+        cursor = self._execute(
             "SELECT instance_id, cls, data FROM instances"
             " ORDER BY instance_id"
         )
@@ -217,7 +281,7 @@ class SQLiteBackend(StorageBackend):
     def classes(self) -> set[str]:
         return {
             cls
-            for (cls,) in self._conn.execute(
+            for (cls,) in self._execute(
                 "SELECT DISTINCT cls FROM instances"
             )
         }
@@ -281,7 +345,7 @@ class SQLiteBackend(StorageBackend):
             f" ORDER BY instance_id"
         )
         self.last_sql = sql
-        for row in self._conn.execute(sql, params):
+        for row in self._execute(sql, params):
             if projection is not None:
                 attributes = {
                     name: json.loads(cell)
@@ -300,3 +364,9 @@ class SQLiteBackend(StorageBackend):
 
     def close(self) -> None:
         self._conn.close()
+
+    def __enter__(self) -> SQLiteBackend:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

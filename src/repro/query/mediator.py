@@ -23,6 +23,7 @@ style mediation.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
@@ -30,10 +31,13 @@ from repro.core.articulation import Articulation
 from repro.core.ontology import qualify, split_qualified
 from repro.core.relations import ATTRIBUTE_OF, SUBCLASS_OF
 from repro.core.unified import UnifiedOntology
+from repro.errors import QueryError
 from repro.query.ast import Query
 from repro.query.reformulate import SourcePlan, reformulate
 
 __all__ = ["MediatorClass", "MediatorSpec", "generate_mediator"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -136,7 +140,11 @@ def generate_mediator(articulation: Articulation) -> MediatorSpec:
             plans = reformulate(
                 Query.over(qualify(articulation.name, term)), unified
             )
-        except Exception:
+        except QueryError as exc:
+            # unplannable term (no bridged source): exported without
+            # scans.  Anything else — a KeyError, a bug in the planner
+            # — must surface, not silently produce an empty mediator.
+            logger.debug("term %r exported without scans: %s", term, exc)
             plans = []
         scans = {
             plan.source: plan.classes for plan in plans

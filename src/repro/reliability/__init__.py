@@ -1,0 +1,43 @@
+"""Reliability layer: fault injection, retry policy, churn journal.
+
+The inference runtime treats worker failure and degraded operation as
+the normal case (the mediator-anatomy lesson): the parallel stratum
+scheduler retries, times out, respawns its pool, and degrades to a
+serial in-process run rather than ever changing results; batched churn
+write-ahead journals its diffs so a crash mid-batch replays to the
+last consistent fixpoint; the SQLite backend waits out and retries
+locked databases.  This package holds the three shared pieces:
+
+* :class:`~repro.reliability.policy.RetryPolicy` — deterministic
+  bounded retry/backoff/timeout knobs;
+* :class:`~repro.reliability.faults.FaultPlan` — seeded, replayable
+  fault injection threaded through test-only hooks in the engine and
+  the backend;
+* :class:`~repro.reliability.journal.ChurnJournal` — the write-ahead
+  log behind crash-safe :meth:`HornEngine.apply_batch`.
+"""
+
+from repro.reliability.faults import (
+    FAULT_SITES,
+    FaultInjected,
+    FaultPlan,
+    TaskFault,
+)
+from repro.reliability.journal import ChurnJournal, JournalError
+from repro.reliability.policy import (
+    DEFAULT_RETRY_POLICY,
+    SQLITE_RETRY_POLICY,
+    RetryPolicy,
+)
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FAULT_SITES",
+    "SQLITE_RETRY_POLICY",
+    "ChurnJournal",
+    "FaultInjected",
+    "FaultPlan",
+    "JournalError",
+    "RetryPolicy",
+    "TaskFault",
+]

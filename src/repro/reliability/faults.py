@@ -1,0 +1,193 @@
+"""Deterministic, seedable fault injection for chaos testing.
+
+A :class:`FaultPlan` is the single source of simulated trouble in the
+runtime: the parallel scheduler asks it whether the next stratum task
+should crash its worker, hang past the deadline, or fail; the SQLite
+backend asks it whether the next statement should see a locked
+database; :meth:`~repro.inference.horn.HornEngine.apply_batch` asks it
+whether the process should "die" between journaling a diff and
+applying it.  Every decision comes from a per-site
+:class:`random.Random` stream derived from one seed, so a chaos run
+replays bit-for-bit: same seed, same faults, same recovery path.
+
+Fault *sites* (the strings the hooks draw on):
+
+========================  ====================================================
+``worker_crash``          the pool worker hard-exits mid-task (the parent
+                          sees ``BrokenProcessPool``)
+``task_hang``             the task sleeps ``hang_seconds`` before finishing
+                          (trips the scheduler's per-task deadline)
+``task_error``            the task raises — the stand-in for pickle/transport
+                          failures, which surface to the parent identically
+``task_slow``             the task sleeps ``slow_seconds`` but finishes in
+                          time (exercises the happy path under load)
+``sqlite_lock``           the next statement raises ``OperationalError:
+                          database is locked`` before reaching SQLite
+``batch_crash``           ``apply_batch`` aborts after the write-ahead
+                          journal record, before mutating the engine
+========================  ====================================================
+
+Plans are either *rate-based* (each draw fires with probability
+``rates[site]``) or *scripted* (draw numbers listed in
+``script[site]`` fire, everything else does not); ``max_fires`` caps
+the total fires per site so a hostile rate cannot starve a campaign
+forever.  ``fired``/``draws`` counters make tests and the chaos
+harness report injected trouble honestly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import OnionError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultInjected",
+    "FaultPlan",
+    "TaskFault",
+]
+
+FAULT_SITES = (
+    "worker_crash",
+    "task_hang",
+    "task_error",
+    "task_slow",
+    "sqlite_lock",
+    "batch_crash",
+)
+
+
+class FaultInjected(OnionError):
+    """An injected fault fired (never raised outside chaos testing)."""
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFault:
+    """A picklable directive shipped inside a stratum-task payload.
+
+    ``kind`` is ``crash`` / ``hang`` / ``error`` / ``slow``; ``seconds``
+    is the sleep for the timed kinds.  The worker-side hook in
+    :func:`repro.inference.horn._saturate_stratum_task` interprets it.
+    """
+
+    kind: str
+    seconds: float = 0.0
+
+
+class FaultPlan:
+    """A seeded schedule of injected faults across the runtime.
+
+    ``rates`` maps fault sites to per-draw probabilities; ``script``
+    maps sites to the exact (0-based) draw indexes that fire and takes
+    precedence over ``rates`` for the sites it names.  Unknown site
+    names are rejected up front — a typoed site would otherwise be a
+    chaos test that silently tests nothing.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        rates: Mapping[str, float] | None = None,
+        script: Mapping[str, Iterable[int]] | None = None,
+        hang_seconds: float = 0.25,
+        slow_seconds: float = 0.01,
+        max_fires: int | None = None,
+    ) -> None:
+        self.seed = seed
+        self.rates = dict(rates or {})
+        self.script = {
+            site: frozenset(indexes)
+            for site, indexes in (script or {}).items()
+        }
+        for site in (*self.rates, *self.script):
+            if site not in FAULT_SITES:
+                raise OnionError(
+                    f"unknown fault site {site!r}; "
+                    f"known sites: {', '.join(FAULT_SITES)}"
+                )
+        self.hang_seconds = hang_seconds
+        self.slow_seconds = slow_seconds
+        self.max_fires = max_fires
+        # Independent per-site streams: drawing at one site never
+        # shifts another site's sequence, so adding a hook upstream
+        # cannot silently reschedule every fault downstream.
+        self._rngs = {
+            site: random.Random(f"{seed}:{site}") for site in FAULT_SITES
+        }
+        self.draws: dict[str, int] = {site: 0 for site in FAULT_SITES}
+        self.fired: dict[str, int] = {site: 0 for site in FAULT_SITES}
+
+    @classmethod
+    def scripted(
+        cls, script: Mapping[str, Iterable[int]], **kwargs: object
+    ) -> "FaultPlan":
+        """A plan that fires exactly the listed draws and nothing else."""
+        return cls(script=script, **kwargs)  # type: ignore[arg-type]
+
+    def fire(self, site: str) -> bool:
+        """Consume one draw at ``site``; True when the fault fires."""
+        if site not in FAULT_SITES:
+            raise OnionError(f"unknown fault site {site!r}")
+        index = self.draws[site]
+        self.draws[site] = index + 1
+        if site in self.script:
+            fires = index in self.script[site]
+        else:
+            rate = self.rates.get(site, 0.0)
+            # the stream advances even when it cannot fire, so the
+            # schedule is a pure function of (seed, draw index)
+            fires = self._rngs[site].random() < rate if rate > 0 else False
+        if fires and (
+            self.max_fires is not None
+            and self.fired[site] >= self.max_fires
+        ):
+            fires = False
+        if fires:
+            self.fired[site] = self.fired[site] + 1
+        return fires
+
+    # ------------------------------------------------------------------
+    # the hooks the runtime draws on
+    # ------------------------------------------------------------------
+    def task_fault(self) -> TaskFault | None:
+        """The directive for the next dispatched stratum task, if any.
+
+        At most one fault per task; sites are consulted in severity
+        order and each consumes its own draw.
+        """
+        if self.fire("worker_crash"):
+            return TaskFault("crash")
+        if self.fire("task_hang"):
+            return TaskFault("hang", self.hang_seconds)
+        if self.fire("task_error"):
+            return TaskFault("error")
+        if self.fire("task_slow"):
+            return TaskFault("slow", self.slow_seconds)
+        return None
+
+    def sqlite_fault(self) -> bool:
+        """Should the next SQLite statement see a locked database?"""
+        return self.fire("sqlite_lock")
+
+    def batch_crash(self) -> bool:
+        """Should ``apply_batch`` die after journaling, before mutating?"""
+        return self.fire("batch_crash")
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Non-zero draw/fire counters, for reports and assertions."""
+        return {
+            "draws": {s: n for s, n in self.draws.items() if n},
+            "fired": {s: n for s, n in self.fired.items() if n},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fired = sum(self.fired.values())
+        return (
+            f"<FaultPlan seed={self.seed} fired={fired} "
+            f"rates={self.rates} script="
+            f"{ {s: sorted(v) for s, v in self.script.items()} }>"
+        )

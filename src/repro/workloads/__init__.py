@@ -1,6 +1,13 @@
 """Workloads: the paper's Fig. 2 example, synthetic ontology families,
-and the churn model for maintenance experiments."""
+the churn model for maintenance experiments, and the chaos harness
+that replays churn under seeded fault injection."""
 
+from repro.workloads.chaos import (
+    CHAOS_CLAUSES,
+    ChaosResult,
+    chaos_batches,
+    run_chaos_campaign,
+)
 from repro.workloads.churn import (
     ChurnReport,
     ChurnRunResult,
@@ -27,6 +34,8 @@ from repro.workloads.paper_example import (
 
 __all__ = [
     "ARTICULATION_NAME",
+    "CHAOS_CLAUSES",
+    "ChaosResult",
     "ChurnReport",
     "ChurnRunResult",
     "Concept",
@@ -38,9 +47,11 @@ __all__ = [
     "WorkloadConfig",
     "apply_churn",
     "carrier_ontology",
+    "chaos_batches",
     "factory_ontology",
     "generate_transport_articulation",
     "generate_workload",
     "paper_rules",
+    "run_chaos_campaign",
     "run_churn_workload",
 ]

@@ -31,6 +31,8 @@ class TestMetricExtraction:
         assert any(k.startswith("infer.") for k in metrics)
         assert any(k.startswith("retract.") for k in metrics)
         assert any(k.startswith("parallel.") for k in metrics)
+        assert any(k.startswith("resil.") for k in metrics)
+        assert metrics.get("resil.chaos_parity") == 1.0
         assert all(v > 0 for v in metrics.values())
 
     def test_missing_and_malformed_records_are_skipped(

@@ -148,6 +148,21 @@ class TestValidation:
         tiny.add_implication("Cat", "Dog")
         assert tiny.is_valid()
 
+    def test_unexpected_validate_error_propagates(
+        self, tiny: Ontology, monkeypatch
+    ) -> None:
+        """validate() narrows to GraphError: a planner bug (any other
+        exception type) must surface, not masquerade as a cycle."""
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("bug in topological_order")
+
+        monkeypatch.setattr(
+            type(tiny.graph), "topological_order", boom
+        )
+        with pytest.raises(RuntimeError, match="bug in topological_order"):
+            tiny.validate()
+
 
 class TestProjectionsAndCopies:
     def test_copy_independent(self, tiny: Ontology) -> None:

@@ -110,3 +110,24 @@ class TestDerivedMediatorAnswersQueries:
             )
             live = {plan.source: plan.classes for plan in plans}
             assert live == dict(cls.scans), cls.name
+
+
+class TestErrorNarrowing:
+    def test_unplannable_term_exported_without_scans(self, spec) -> None:
+        euro = next(cls for cls in spec.classes if cls.name == "Euro")
+        assert euro.scans == {}
+
+    def test_unexpected_reformulate_error_propagates(
+        self, transport: Articulation, monkeypatch
+    ) -> None:
+        """generate_mediator narrows to QueryError: a planner bug (any
+        other exception type) must surface instead of silently yielding
+        a scan-less mediator class."""
+        import repro.query.mediator as mediator_module
+
+        def boom(query, unified):
+            raise ValueError("bug in reformulate")
+
+        monkeypatch.setattr(mediator_module, "reformulate", boom)
+        with pytest.raises(ValueError, match="bug in reformulate"):
+            generate_mediator(transport)

@@ -1,0 +1,2 @@
+"""Tests for the reliability layer: fault plans, the hardened parallel
+scheduler, the churn journal, and end-to-end chaos parity."""

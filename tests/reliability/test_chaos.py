@@ -1,0 +1,132 @@
+"""End-to-end chaos: campaigns and hypothesis chaos-parity.
+
+The bit-for-bit contract under test: any seeded combination of worker
+crashes, hangs, task errors, slow tasks, and mid-batch process crashes
+must leave the engine in exactly the state a fault-free serial run
+reaches over the same surviving inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import FaultPlan, RetryPolicy
+from repro.workloads import run_chaos_campaign
+from tests.support.churn_scripts import (
+    CLAUSE_POOL,
+    churn_scripts,
+    oracle_states,
+    replay_incremental,
+)
+
+FAST = RetryPolicy(
+    max_retries=2, backoff_base=0.001, backoff_cap=0.01, task_timeout=5.0
+)
+
+
+class TestChaosCampaign:
+    def test_fault_free_campaign_has_parity(self, tmp_path) -> None:
+        result = run_chaos_campaign(
+            tmp_path / "journal.jsonl", seed=1, workers=2
+        )
+        assert result.parity
+        assert result.recoveries == 0
+        assert result.scheduler_stats["retries"] == 0
+
+    def test_campaign_under_full_chaos(self, tmp_path) -> None:
+        plan = FaultPlan(
+            seed=7,
+            rates={
+                "worker_crash": 0.15,
+                "task_error": 0.2,
+                "task_slow": 0.3,
+                "batch_crash": 0.25,
+            },
+        )
+        result = run_chaos_campaign(
+            tmp_path / "journal.jsonl",
+            seed=3,
+            workers=2,
+            fault_plan=plan,
+            retry_policy=FAST,
+        )
+        assert result.parity
+        assert result.facts == result.oracle_facts
+        # the campaign actually hit trouble — otherwise it proves nothing
+        assert result.fault_summary["fired"]
+        assert (
+            result.recoveries
+            + result.scheduler_stats["retries"]
+            + result.scheduler_stats["degraded_strata"]
+        ) > 0
+
+    def test_batch_crashes_force_journal_recoveries(self, tmp_path) -> None:
+        plan = FaultPlan.scripted({"batch_crash": [0, 2]})
+        result = run_chaos_campaign(
+            tmp_path / "journal.jsonl", seed=5, workers=1, fault_plan=plan
+        )
+        assert result.parity
+        assert result.recoveries == 2
+
+    def test_campaign_is_seed_deterministic(self, tmp_path) -> None:
+        def run(tag: str):
+            return run_chaos_campaign(
+                tmp_path / f"{tag}.jsonl",
+                seed=11,
+                workers=2,
+                fault_plan=FaultPlan(
+                    seed=2, rates={"worker_crash": 0.2, "batch_crash": 0.2}
+                ),
+                retry_policy=FAST,
+            )
+
+        a, b = run("a"), run("b")
+        assert a.parity and b.parity
+        assert a.recoveries == b.recoveries
+        assert a.facts == b.facts
+        assert a.fault_summary == b.fault_summary
+
+
+class _PlanFactory:
+    """Fresh, identically-seeded FaultPlans per hypothesis example."""
+
+    @staticmethod
+    def build(seed: int) -> FaultPlan:
+        return FaultPlan(
+            seed=seed,
+            rates={
+                "worker_crash": 0.1,
+                "task_error": 0.15,
+                "task_slow": 0.2,
+            },
+        )
+
+
+class TestChaosParity:
+    """Satellite: churn scripts under randomized seeded fault plans
+    converge to the fault-free oracle at every checkpoint."""
+
+    @given(
+        script=churn_scripts(max_ops=10),
+        fault_seed=st.integers(0, 2**16),
+        workers=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_faulty_replay_matches_oracle(
+        self, script, fault_seed, workers
+    ) -> None:
+        seed_clauses = (CLAUSE_POOL[0], CLAUSE_POOL[1])
+        _, snapshots = replay_incremental(
+            script,
+            saturate_every=4,
+            seed_clauses=seed_clauses,
+            workers=workers,
+            retry_policy=FAST,
+            fault_plan=_PlanFactory.build(fault_seed),
+        )
+        expected = oracle_states(
+            script, saturate_every=4, seed_clauses=seed_clauses
+        )
+        assert snapshots == expected

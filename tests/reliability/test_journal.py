@@ -1,0 +1,146 @@
+"""The churn write-ahead journal: durability, recovery, compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.rules import HornClause
+from repro.inference.horn import HornEngine
+from repro.reliability import ChurnJournal, FaultInjected, FaultPlan
+
+TRANS = HornClause(
+    ("S", "?x", "?z"), (("S", "?x", "?y"), ("S", "?y", "?z"))
+)
+
+
+def _engine(journal: ChurnJournal | None = None) -> HornEngine:
+    engine = HornEngine(journal=journal)
+    engine.add_clause(TRANS)
+    engine.add_facts([("S", "a", "b"), ("S", "b", "c")])
+    engine.saturate()
+    return engine
+
+
+class TestJournalRecords:
+    def test_begin_then_commit_round_trip(self, tmp_path) -> None:
+        journal = ChurnJournal(tmp_path / "j.jsonl")
+        seq = journal.begin([("S", "c", "d")], [("S", "a", "b")])
+        assert journal.pending() == [seq]
+        journal.commit(seq)
+        assert journal.pending() == []
+
+    def test_sequence_numbers_survive_reopen(self, tmp_path) -> None:
+        path = tmp_path / "j.jsonl"
+        first = ChurnJournal(path).begin([("S", "a", "b")], [])
+        second = ChurnJournal(path).begin([("S", "b", "c")], [])
+        assert second > first
+
+    def test_torn_tail_is_discarded(self, tmp_path) -> None:
+        path = tmp_path / "j.jsonl"
+        journal = ChurnJournal(path)
+        seq = journal.begin([("S", "a", "b")], [])
+        journal.commit(seq)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "begin", "seq": 99, "ad')  # torn
+        reopened = ChurnJournal(path)
+        assert reopened.pending() == []
+        # ...and the next append does not merge into the torn line
+        seq2 = reopened.begin([("S", "x", "y")], [])
+        records = reopened.records()
+        assert any(
+            r.get("type") == "begin" and r.get("seq") == seq2
+            for r in records
+        )
+
+
+class TestApplyBatchJournaling:
+    def test_batch_journals_and_commits(self, tmp_path) -> None:
+        journal = ChurnJournal(tmp_path / "j.jsonl")
+        engine = _engine(journal)
+        journal.snapshot(engine)
+        report = engine.apply_batch(
+            adds=[("S", "c", "d")], retracts=[("S", "a", "b")]
+        )
+        assert "journal_seq" in report
+        assert journal.pending() == []
+
+    def test_without_journal_no_file(self, tmp_path) -> None:
+        engine = _engine(None)
+        engine.apply_batch(adds=[("S", "c", "d")])
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestRecovery:
+    def test_recover_replays_uncommitted_batch(self, tmp_path) -> None:
+        """The crash contract: diff journaled, engine dead — recovery
+        lands on the fixpoint the batch was driving toward."""
+        journal = ChurnJournal(tmp_path / "j.jsonl")
+        plan = FaultPlan.scripted({"batch_crash": [0]})
+        engine = HornEngine(journal=journal, fault_plan=plan)
+        engine.add_clause(TRANS)
+        engine.add_facts([("S", "a", "b"), ("S", "b", "c")])
+        engine.saturate()
+        journal.snapshot(engine)
+
+        with pytest.raises(FaultInjected):
+            engine.apply_batch(
+                adds=[("S", "c", "d")], retracts=[("S", "a", "b")]
+            )
+        # the in-memory engine never mutated
+        assert ("S", "c", "d") not in engine.facts()
+
+        recovered, report = journal.recover()
+        assert report["replayed_pending"] == 1
+        oracle = HornEngine()
+        oracle.add_clause(TRANS)
+        oracle.add_facts([("S", "b", "c"), ("S", "c", "d")])
+        oracle.saturate()
+        assert recovered.facts() == oracle.facts()
+        # second recovery is a no-op: the replay was committed
+        assert journal.pending() == []
+        again, report2 = journal.recover()
+        assert report2["replayed_pending"] == 0
+        assert again.facts() == oracle.facts()
+
+    def test_recover_from_snapshot_plus_committed_history(
+        self, tmp_path
+    ) -> None:
+        journal = ChurnJournal(tmp_path / "j.jsonl")
+        engine = _engine(journal)
+        journal.snapshot(engine)
+        engine.apply_batch(adds=[("S", "c", "d")])
+        engine.apply_batch(retracts=[("S", "a", "b")])
+        recovered, report = journal.recover()
+        assert report["batches"] == 2
+        assert recovered.facts() == engine.facts()
+
+    def test_snapshot_compacts_the_log(self, tmp_path) -> None:
+        path = tmp_path / "j.jsonl"
+        journal = ChurnJournal(path)
+        engine = _engine(journal)
+        journal.snapshot(engine)
+        for i in range(5):
+            engine.apply_batch(adds=[("S", f"n{i}", f"n{i + 1}")])
+        journal.snapshot(engine)
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 1
+        assert lines[0]["type"] == "snapshot"
+        recovered, _ = journal.recover()
+        assert recovered.facts() == engine.facts()
+
+    def test_recover_without_snapshot_is_facts_only(self, tmp_path) -> None:
+        """Begins alone carry no clauses — recovery still folds the
+        fact diffs (the documented contract: snapshot carries the
+        program)."""
+        journal = ChurnJournal(tmp_path / "j.jsonl")
+        seq = journal.begin([("S", "a", "b")], [])
+        recovered, report = journal.recover()
+        assert report["batches"] == 1
+        assert recovered.base_facts() == {("S", "a", "b")}
+        assert journal.pending() == []

@@ -1,0 +1,166 @@
+"""The hardened parallel scheduler: crashes, hangs, errors, respawns.
+
+Every test's bottom line is the robustness contract — ``workers=N``
+under injected faults derives exactly what the serial engine derives —
+plus honest bookkeeping in ``last_stats``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import HornClause
+from repro.inference.horn import (
+    HornEngine,
+    _POOL_CACHE,
+    _evict_pool,
+    _pool_unusable,
+    _shared_pool,
+)
+from repro.reliability import FaultPlan, RetryPolicy
+
+TRANS = HornClause(
+    ("S", "?x", "?z"), (("S", "?x", "?y"), ("S", "?y", "?z"))
+)
+LIFT = HornClause(("implies", "?x", "?y"), (("S", "?x", "?y"),))
+IMPL_TRANS = HornClause(
+    ("implies", "?x", "?z"),
+    (("implies", "?x", "?y"), ("implies", "?y", "?z")),
+)
+
+FAST = RetryPolicy(
+    max_retries=2, backoff_base=0.001, backoff_cap=0.01, task_timeout=5.0
+)
+
+
+def _chain_facts(n: int = 8) -> list[tuple[str, str, str]]:
+    return [("S", f"v{i}", f"v{i + 1}") for i in range(n)]
+
+
+def _serial_oracle() -> set:
+    engine = HornEngine()
+    engine.add_clauses([TRANS, LIFT, IMPL_TRANS])
+    engine.add_facts(_chain_facts())
+    engine.saturate()
+    return engine.facts()
+
+
+def _chaos_engine(plan: FaultPlan, *, workers: int = 2) -> HornEngine:
+    engine = HornEngine(
+        workers=workers, retry_policy=FAST, fault_plan=plan
+    )
+    engine.add_clauses([TRANS, LIFT, IMPL_TRANS])
+    engine.add_facts(_chain_facts())
+    return engine
+
+
+class TestFaultAbsorption:
+    def test_worker_crash_is_absorbed(self) -> None:
+        plan = FaultPlan.scripted({"worker_crash": [0]})
+        engine = _chaos_engine(plan)
+        engine.saturate()
+        assert engine.facts() == _serial_oracle()
+        stats = engine.last_stats
+        assert stats["pool_respawns"] >= 1
+        assert stats["retries"] >= 1
+        assert plan.fired["worker_crash"] == 1
+
+    def test_task_error_is_retried(self) -> None:
+        plan = FaultPlan.scripted({"task_error": [0]})
+        engine = _chaos_engine(plan)
+        engine.saturate()
+        assert engine.facts() == _serial_oracle()
+        assert engine.last_stats["retries"] >= 1
+
+    def test_task_hang_trips_timeout(self) -> None:
+        plan = FaultPlan.scripted({"task_hang": [0]}, hang_seconds=30.0)
+        engine = HornEngine(
+            workers=2,
+            retry_policy=RetryPolicy(
+                max_retries=2,
+                backoff_base=0.001,
+                backoff_cap=0.01,
+                task_timeout=0.5,
+            ),
+            fault_plan=plan,
+        )
+        engine.add_clauses([TRANS, LIFT, IMPL_TRANS])
+        engine.add_facts(_chain_facts())
+        engine.saturate()
+        assert engine.facts() == _serial_oracle()
+        stats = engine.last_stats
+        assert stats["timeouts"] >= 1
+        assert stats["pool_respawns"] >= 1
+
+    def test_exhausted_retries_degrade_to_serial(self) -> None:
+        # every dispatch of the first stratum errors: 1 try + 2
+        # retries all fail, then the stratum runs serially in-process
+        plan = FaultPlan.scripted({"task_error": range(50)})
+        engine = _chaos_engine(plan)
+        engine.saturate()
+        assert engine.facts() == _serial_oracle()
+        stats = engine.last_stats
+        assert stats["degraded_strata"] >= 1
+        assert stats["retries"] >= FAST.max_retries
+
+    def test_slow_tasks_ride_the_happy_path(self) -> None:
+        plan = FaultPlan(
+            seed=0, rates={"task_slow": 1.0}, slow_seconds=0.005
+        )
+        engine = _chaos_engine(plan)
+        engine.saturate()
+        assert engine.facts() == _serial_oracle()
+        stats = engine.last_stats
+        assert stats["retries"] == 0
+        assert stats["degraded_strata"] == 0
+
+    def test_incremental_push_survives_faults(self) -> None:
+        """Delta propagation (the apply_batch path) rides the same
+        hardened scheduler."""
+        plan = FaultPlan.scripted({"worker_crash": [0], "task_error": [1]})
+        engine = _chaos_engine(plan)
+        engine.saturate()
+        engine.apply_batch(adds=[("S", "v8", "v9"), ("S", "v9", "v10")])
+        oracle = HornEngine()
+        oracle.add_clauses([TRANS, LIFT, IMPL_TRANS])
+        oracle.add_facts(_chain_facts(10))
+        oracle.saturate()
+        assert engine.facts() == oracle.facts()
+
+    def test_fault_free_stats_stay_zero(self) -> None:
+        engine = HornEngine(workers=2)
+        engine.add_clauses([TRANS, LIFT, IMPL_TRANS])
+        engine.add_facts(_chain_facts())
+        engine.saturate()
+        stats = engine.last_stats
+        assert stats["retries"] == 0
+        assert stats["timeouts"] == 0
+        assert stats["pool_respawns"] == 0
+        assert stats["degraded_strata"] == 0
+
+
+class TestPoolHealth:
+    def test_broken_pool_evicted_from_cache(self) -> None:
+        """_shared_pool never hands back a pool it knows is unusable."""
+        pool = _shared_pool(2)
+        pool.shutdown(wait=True)
+        assert _pool_unusable(pool)
+        fresh = _shared_pool(2)
+        assert fresh is not pool
+        assert not _pool_unusable(fresh)
+
+    def test_evict_pool_is_identity_guarded(self) -> None:
+        """Evicting a stale reference must not tear down the fresh
+        replacement another caller already installed."""
+        stale = _shared_pool(2)
+        assert _evict_pool(2, stale)
+        fresh = _shared_pool(2)
+        assert not _evict_pool(2, stale)  # stale is gone; fresh stands
+        assert _POOL_CACHE[2] is fresh
+        assert _evict_pool(2, fresh)
+
+    def test_evict_without_reference_removes_cached(self) -> None:
+        _shared_pool(2)
+        assert _evict_pool(2)
+        assert 2 not in _POOL_CACHE
+        assert not _evict_pool(2)

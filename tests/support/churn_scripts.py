@@ -144,6 +144,8 @@ def replay_incremental(
     saturate_every: int = 1,
     seed_clauses: tuple[HornClause, ...] = (),
     workers: int = 1,
+    retry_policy=None,
+    fault_plan=None,
 ) -> tuple[HornEngine, list[set[Atom]]]:
     """Replay a script into one engine; snapshot facts per checkpoint.
 
@@ -151,10 +153,16 @@ def replay_incremental(
     operation and once more at the end, so parity is checked mid-flight
     — including states where additions and retractions are queued
     together — not only after the final op.  ``workers>1`` routes
-    every saturation through the parallel stratum scheduler.
+    every saturation through the parallel stratum scheduler; a
+    ``fault_plan`` injects seeded chaos into those saturations (the
+    snapshots must still equal the fault-free oracle).
     """
     engine = HornEngine(
-        strategy=strategy, scheduling=scheduling, workers=workers
+        strategy=strategy,
+        scheduling=scheduling,
+        workers=workers,
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
     )
     engine.add_clauses(seed_clauses)
     snapshots: list[set[Atom]] = []
