@@ -1,0 +1,212 @@
+"""Experiment SERVING: what the articulation service delivers under
+concurrent load.
+
+PR 8 puts the mediator behind a ThreadingHTTPServer with session
+snapshots, a server-wide result cache keyed on the articulation
+fingerprint, and journal-backed crash recovery.  This experiment
+measures the serving story end to end:
+
+* **load under churn** — the headline: ≥ 8 concurrent HTTP clients
+  replaying a Zipfian request mix while a churn thread mutates the
+  sources in the background.  Reports p50/p99 latency, throughput,
+  and the result-cache hit rate (bar: ≥ 50% under a Zipfian mix),
+  and asserts ZERO cross-session isolation violations observed by
+  the load generator's auditor session.
+* **cache speedup** — the same query answered from the result cache
+  against the full plan-and-execute path (cache invalidated before
+  every call), the ratio the perf-trajectory gate tracks.
+* **recovery boot** — a service lifetime's writes folded into the
+  churn journal, then the wall-clock cost of booting a fresh
+  service at the recovered fixpoint, with answer parity asserted
+  against the live pre-crash service.
+
+Running this module writes ``BENCH_serving.json`` next to it.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serving import (
+    ArticulationServer,
+    ArticulationService,
+    load_paper_workload,
+)
+from repro.workloads.loadgen import run_load
+
+RESULTS: dict[str, object] = {"experiment": "SERVING", "workloads": {}}
+_JSON_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 40
+CHURN_BATCHES = 5
+
+
+def test_load_under_churn(table) -> None:
+    """The acceptance headline: 8 concurrent Zipfian clients, churn in
+    the background, ≥ 50% cache hit rate, zero isolation violations."""
+    service = ArticulationService()
+    load_paper_workload(service)
+    with ArticulationServer(service, port=0) as server:
+        report = run_load(
+            server.host,
+            server.port,
+            clients=CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            seed=0,
+            churn_batches=CHURN_BATCHES,
+            churn_mutations=3,
+        )
+    table(
+        f"SERVING load under churn ({CLIENTS} clients x "
+        f"{REQUESTS_PER_CLIENT} requests, {CHURN_BATCHES} churn batches)",
+        ["measure", "value"],
+        [
+            ("requests", report.requests),
+            ("errors", report.errors),
+            ("p50", f"{report.p50_ms:.2f}ms"),
+            ("p99", f"{report.p99_ms:.2f}ms"),
+            ("throughput", f"{report.throughput_rps:.0f} req/s"),
+            ("cache hit rate", f"{report.cache.get('hit_rate', 0.0):.2f}"),
+            ("isolation probes", report.isolation_probes),
+            ("isolation violations", report.isolation_violations),
+        ],
+    )
+    hit_rate = float(report.cache.get("hit_rate", 0.0))
+    RESULTS["workloads"]["load_under_churn"] = {
+        "clients": CLIENTS,
+        "requests": report.requests,
+        "errors": report.errors,
+        "p50_ms": round(report.p50_ms, 3),
+        "p99_ms": round(report.p99_ms, 3),
+        "throughput_rps": round(report.throughput_rps, 1),
+        "hit_rate": round(hit_rate, 4),
+        "churn_batches": report.churn_batches,
+        "isolation_probes": report.isolation_probes,
+        "isolation_violations": report.isolation_violations,
+    }
+    assert report.errors == 0, f"{report.errors} requests failed under load"
+    assert report.isolation_violations == 0, (
+        "a pinned session observed concurrent churn"
+    )
+    assert hit_rate >= 0.5, (
+        f"Zipfian mix should re-hit the result cache (rate {hit_rate:.2f})"
+    )
+
+
+def test_cache_speedup(table) -> None:
+    """The result cache must beat re-planning and re-executing the
+    same cross-source query by a wide margin."""
+    service = ArticulationService()
+    load_paper_workload(service)
+    query = "SELECT price FROM transport:Vehicle"
+    repeats = 40
+    service.query(query)  # warm plan + result caches
+
+    uncached: list[float] = []
+    for _ in range(repeats):
+        service.cache.invalidate()
+        t0 = time.perf_counter()
+        service.query(query)
+        uncached.append((time.perf_counter() - t0) * 1000.0)
+
+    service.query(query)  # re-warm
+    cached: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _, meta = service.query(query)
+        cached.append((time.perf_counter() - t0) * 1000.0)
+        assert meta["cached"] is True
+
+    uncached_ms = statistics.median(uncached)
+    cached_ms = statistics.median(cached)
+    speedup = uncached_ms / cached_ms if cached_ms else float("inf")
+    table(
+        f"SERVING cache speedup (median of {repeats})",
+        ["path", "median", "speedup"],
+        [
+            ("plan + execute", f"{uncached_ms:.3f}ms", "-"),
+            ("result cache", f"{cached_ms:.3f}ms", f"{speedup:.1f}x"),
+        ],
+    )
+    RESULTS["workloads"]["cache_speedup"] = {
+        "uncached_ms": round(uncached_ms, 4),
+        "cached_ms": round(cached_ms, 4),
+        "speedup": round(speedup, 2),
+        "repeats": repeats,
+    }
+    assert speedup > 1.0, "the result cache must not cost more than it saves"
+
+
+def test_recovery_boot(table, tmp_path) -> None:
+    """Booting from the journal lands on the pre-crash fixpoint."""
+    journal = str(tmp_path / "serve.journal")
+    live = ArticulationService(journal_path=journal)
+    load_paper_workload(live)
+    batches = 12
+    for i in range(batches):
+        live.apply_facts(
+            [
+                ("implies", f"boot:A{i}", f"boot:B{i}"),
+                ("implies", f"boot:B{i}", "transport:Vehicle"),
+            ],
+            [] if i % 3 else [("implies", f"boot:A{i - 1}", f"boot:B{i - 1}")]
+            if i
+            else [],
+        )
+    probe = {"op": "generalizations", "term": f"boot:A{batches - 1}"}
+    expected = live.infer(probe)["terms"]
+
+    t0 = time.perf_counter()
+    recovered = ArticulationService(journal_path=journal)
+    boot_ms = (time.perf_counter() - t0) * 1000.0
+    answer = recovered.infer(probe)["terms"]
+    parity = 1.0 if answer == expected else 0.0
+
+    table(
+        f"SERVING recovery boot ({batches} journaled batches)",
+        ["measure", "value"],
+        [
+            ("boot", f"{boot_ms:.1f}ms"),
+            ("facts", recovered.health()["facts"]),
+            ("answer parity", parity),
+        ],
+    )
+    RESULTS["workloads"]["recovery_boot"] = {
+        "boot_ms": round(boot_ms, 2),
+        "batches": batches,
+        "facts": recovered.health()["facts"],
+        "parity": parity,
+    }
+    assert parity == 1.0, "recovered service diverged from the live one"
+
+
+_EXPECTED_WORKLOADS = {"load_under_churn", "cache_speedup", "recovery_boot"}
+
+
+def test_write_bench_json(table) -> None:
+    """Persist the collected series (runs last in this module).
+
+    Only a complete run overwrites the checked-in record — a subset
+    run (``-k``) or one with earlier failures must not clobber it with
+    a partial series."""
+    collected = set(RESULTS["workloads"])
+    if collected != _EXPECTED_WORKLOADS:
+        pytest.skip(
+            "partial run (missing "
+            f"{sorted(_EXPECTED_WORKLOADS - collected)}); "
+            "not overwriting the checked-in record"
+        )
+    payload = json.dumps(RESULTS, indent=2, sort_keys=True)
+    _JSON_PATH.write_text(payload + "\n")
+    table(
+        "SERVING artifact",
+        ["file", "workloads"],
+        [(_JSON_PATH.name, len(RESULTS["workloads"]))],
+    )
+    assert _JSON_PATH.exists()

@@ -135,12 +135,35 @@ def _metrics_resilience(payload: dict) -> dict[str, float]:
     return {k: v for k, v in out.items() if v is not None}
 
 
+def _metrics_serving(payload: dict) -> dict[str, float]:
+    w = payload.get("workloads", {})
+    out: dict[str, float | None] = {}
+    cache = w.get("cache_speedup", {})
+    out["serving.cache_speedup"] = _ratio(
+        cache.get("uncached_ms"), cache.get("cached_ms")
+    )
+    load = w.get("load_under_churn", {})
+    # the Zipfian mix's hit rate is machine-independent: it depends on
+    # key distribution and invalidation frequency, not on clock speed
+    out["serving.hit_rate"] = load.get("hit_rate")
+    # 1.0 or the gate fails: a pinned session observing concurrent
+    # churn is a correctness bug, not a slowdown
+    if load.get("isolation_probes"):
+        out["serving.isolation_parity"] = (
+            1.0 if load.get("isolation_violations") == 0 else 0.0
+        )
+    boot = w.get("recovery_boot", {})
+    out["serving.recovery_parity"] = boot.get("parity")
+    return {k: v for k, v in out.items() if v is not None}
+
+
 EXTRACTORS = {
     "BENCH_inference.json": _metrics_inference,
     "BENCH_retraction.json": _metrics_retraction,
     "BENCH_parallel.json": _metrics_parallel,
     "BENCH_articulation.json": _metrics_articulation,
     "BENCH_resilience.json": _metrics_resilience,
+    "BENCH_serving.json": _metrics_serving,
 }
 
 

@@ -268,6 +268,96 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_server(args: argparse.Namespace):
+    """Build the articulation server an ``onion serve`` invocation
+    describes, without starting it (tests bind ephemeral ports)."""
+    from repro.serving import (
+        ArticulationServer,
+        ArticulationService,
+        load_paper_workload,
+    )
+
+    service = ArticulationService(
+        pushdown=args.pushdown,
+        result_cache_size=args.cache_size,
+        session_limit=args.sessions,
+        journal_path=args.journal,
+        workers=args.workers,
+    )
+    if args.workload == "paper":
+        backend_factory = None
+        if args.backend == "sqlite":
+            if args.db:
+                db_dir = Path(args.db)
+                db_dir.mkdir(parents=True, exist_ok=True)
+                backend_factory = lambda name: SQLiteBackend(  # noqa: E731
+                    db_dir / f"{name}.sqlite"
+                )
+            else:
+                backend_factory = lambda name: SQLiteBackend()  # noqa: E731
+        load_paper_workload(service, backend_factory=backend_factory)
+    elif args.sources:
+        if len(args.sources) < 2:
+            raise OnionError(
+                "serve needs at least two source ontologies (or "
+                "--workload paper)"
+            )
+        sources = [load_ontology(path) for path in args.sources]
+        articulation = _articulate(sources, args.rules, args.name)
+        stores = _load_stores(args, articulation)
+        service.install(articulation, stores=stores)
+    # with neither sources nor a workload the server starts empty:
+    # ontologies arrive over POST /ontologies + /articulate (or a
+    # journal recovery already primed the engine)
+    return ArticulationServer(service, host=args.host, port=args.port)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    server = build_server(args)
+    print(f"serving on {server.address}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.workloads.loadgen import run_load
+
+    report = run_load(
+        args.host,
+        args.port,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        zipf_s=args.zipf_s,
+        churn_batches=args.churn_batches,
+        churn_mutations=args.churn_mutations,
+    )
+    payload = report.to_dict()
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{payload['requests']} requests from {payload['clients']} "
+            f"clients in {payload['duration_s']}s "
+            f"({payload['throughput_rps']} req/s)"
+        )
+        print(
+            f"latency p50 {payload['p50_ms']}ms  p99 {payload['p99_ms']}ms"
+            f"  errors {payload['errors']}"
+        )
+        print(
+            f"churn batches {payload['churn_batches']}  cache hit rate "
+            f"{payload['cache'].get('hit_rate', 0):.2f}  isolation "
+            f"violations {payload['isolation_violations']}"
+        )
+    return 1 if report.errors or report.isolation_violations else 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     """Print the physical plan without executing it — and without
     loading or migrating any instance data.  With ``--kb`` the plan is
@@ -413,6 +503,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_query_args(explain)
     explain.set_defaults(fn=cmd_explain)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the articulation server over HTTP",
+    )
+    serve.add_argument("sources", nargs="*", help="source ontology files")
+    serve.add_argument("--rules", help="rule file")
+    serve.add_argument("--name", default="articulation")
+    serve.add_argument(
+        "--kb",
+        action="append",
+        default=[],
+        metavar="SOURCE=FILE.json",
+        help="instance data for one source (repeatable)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="memory",
+        help="storage backend the instance data is loaded into",
+    )
+    serve.add_argument(
+        "--db",
+        help="directory for sqlite databases (one per source)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8707, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--workload",
+        choices=["paper"],
+        help="serve a built-in workload instead of source files",
+    )
+    serve.add_argument(
+        "--journal",
+        help="write-ahead churn journal path (enables crash recovery)",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=256, help="live session limit"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=512, help="query-result LRU size"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="saturation worker processes"
+    )
+    serve.add_argument(
+        "--pushdown",
+        action="store_true",
+        help="translate WHERE predicates into each source's metric",
+    )
+    serve.set_defaults(fn=cmd_serve, workload=None)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running articulation server with concurrent load",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8707)
+    loadgen.add_argument(
+        "--clients", type=int, default=8, help="concurrent client threads"
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=40, help="requests per client"
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--zipf-s", type=float, default=1.1, help="Zipf skew exponent"
+    )
+    loadgen.add_argument("--churn-batches", type=int, default=5)
+    loadgen.add_argument("--churn-mutations", type=int, default=3)
+    loadgen.add_argument(
+        "--json", action="store_true", help="print the full JSON report"
+    )
+    loadgen.set_defaults(fn=cmd_loadgen)
 
     return parser
 

@@ -32,6 +32,7 @@ rule did, and benchmarks can count graph work.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
@@ -57,6 +58,15 @@ from repro.core.transform import EdgeAddition, NodeAddition, TransformLog
 from repro.errors import ArticulationError, TermNotFoundError
 
 __all__ = ["Articulation", "ArticulationGenerator"]
+
+# One lock for every articulation's cached views (the unified graph
+# and the covered-term set).  A module-level lock rather than a
+# per-instance field keeps the dataclass copyable/picklable and costs
+# nothing: the guarded sections are a fingerprint compare on hits, and
+# serializing the occasional rebuild is exactly the point — concurrent
+# serving threads must share ONE unified graph (and its match
+# indexes), not race to build duplicates.
+_CACHE_LOCK = threading.Lock()
 
 
 @dataclass
@@ -178,24 +188,25 @@ class Articulation:
         Cached against :meth:`fingerprint` — the maintainer classifies
         every change batch through it.
         """
-        fp = self.fingerprint()
-        cached = self._covered_cache
-        if cached is not None and cached[0] == fp:
-            self.cache_stats["covered_hits"] = (
-                self.cache_stats.get("covered_hits", 0) + 1
+        with _CACHE_LOCK:
+            fp = self.fingerprint()
+            cached = self._covered_cache
+            if cached is not None and cached[0] == fp:
+                self.cache_stats["covered_hits"] = (
+                    self.cache_stats.get("covered_hits", 0) + 1
+                )
+                return set(cached[1])
+            prefix = f"{self.name}:"
+            covered: set[str] = set()
+            for edge in self.bridges:
+                for endpoint in (edge.source, edge.target):
+                    if not endpoint.startswith(prefix):
+                        covered.add(endpoint)
+            self._covered_cache = (fp, covered)
+            self.cache_stats["covered_misses"] = (
+                self.cache_stats.get("covered_misses", 0) + 1
             )
-            return set(cached[1])
-        prefix = f"{self.name}:"
-        covered: set[str] = set()
-        for edge in self.bridges:
-            for endpoint in (edge.source, edge.target):
-                if not endpoint.startswith(prefix):
-                    covered.add(endpoint)
-        self._covered_cache = (fp, covered)
-        self.cache_stats["covered_misses"] = (
-            self.cache_stats.get("covered_misses", 0) + 1
-        )
-        return set(covered)
+            return set(covered)
 
     def conversion_between(
         self, qualified_source: str, qualified_target: str
@@ -226,29 +237,31 @@ class Articulation:
         the result as read-only; a caller that mutates it bumps its
         version and the cache rebuilds on the next call.
         """
-        fp = self.fingerprint()
-        cached = self._unified_cache
-        if cached is not None:
-            graph, built_fp, built_version = cached
-            if built_fp == fp and graph.version == built_version:
-                self.cache_stats["unified_hits"] = (
-                    self.cache_stats.get("unified_hits", 0) + 1
-                )
-                return graph
-        graph = LabeledGraph()
-        for source in self.sources.values():
-            graph.merge(source.qualified_graph())
-        graph.merge(self.ontology.qualified_graph())
-        for edge in self.bridges:
-            # Bridge endpoints may reference terms removed from a source
-            # since generation; skip dangling bridges rather than fail.
-            if graph.has_node(edge.source) and graph.has_node(edge.target):
-                graph.add_edge(edge.source, edge.label, edge.target)
-        self._unified_cache = (graph, fp, graph.version)
-        self.cache_stats["unified_misses"] = (
-            self.cache_stats.get("unified_misses", 0) + 1
-        )
-        return graph
+        with _CACHE_LOCK:
+            fp = self.fingerprint()
+            cached = self._unified_cache
+            if cached is not None:
+                graph, built_fp, built_version = cached
+                if built_fp == fp and graph.version == built_version:
+                    self.cache_stats["unified_hits"] = (
+                        self.cache_stats.get("unified_hits", 0) + 1
+                    )
+                    return graph
+            graph = LabeledGraph()
+            for source in self.sources.values():
+                graph.merge(source.qualified_graph())
+            graph.merge(self.ontology.qualified_graph())
+            for edge in self.bridges:
+                # Bridge endpoints may reference terms removed from a
+                # source since generation; skip dangling bridges rather
+                # than fail.
+                if graph.has_node(edge.source) and graph.has_node(edge.target):
+                    graph.add_edge(edge.source, edge.label, edge.target)
+            self._unified_cache = (graph, fp, graph.version)
+            self.cache_stats["unified_misses"] = (
+                self.cache_stats.get("unified_misses", 0) + 1
+            )
+            return graph
 
     def match_index(self, config) -> "object":
         """The cached pattern-match index over the unified graph.

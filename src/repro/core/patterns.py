@@ -37,6 +37,7 @@ reproducible run-to-run and identical between strategies.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from collections.abc import Callable, Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
@@ -393,28 +394,38 @@ class MatchIndex:
     # it, drop the oldest entries rather than grow without bound.
     _CACHE_LIMIT = 8
 
+    # One lock for every graph's index cache: for_graph both mutates
+    # the per-graph cache dict and replays mutation journals into
+    # cached entries in place, so concurrent serving threads must not
+    # interleave.  Contention is negligible (the work inside is dict
+    # probes and bounded journal replay; full index builds are lazy).
+    _cache_lock = threading.Lock()
+
     @classmethod
     def for_graph(cls, graph: LabeledGraph, config: MatchConfig) -> "MatchIndex":
         """The cached index for this config, rebuilt if the graph moved.
 
         Keyed by the config's *value* (:meth:`MatchConfig.cache_key`),
         so callers constructing a fresh equal config per call still
-        reuse the warm index.
+        reuse the warm index.  Thread-safe: lookup, in-place journal
+        replay and eviction happen under one class-wide lock.
         """
-        cache = graph._match_indexes
-        key = config.cache_key()
-        entry = cache.get(key)
-        if entry is not None and (
-            entry.version == graph.version or entry.refresh()
-        ):
-            return entry
-        if entry is None and len(cache) >= cls._CACHE_LIMIT:
-            # Evict the oldest entry (dict preserves insertion order)
-            # rather than wiping every warm index on the graph.
-            del cache[next(iter(cache))]
-        index = cls(graph, config)
-        cache[key] = index
-        return index
+        with cls._cache_lock:
+            cache = graph._match_indexes
+            key = config.cache_key()
+            entry = cache.get(key)
+            if entry is not None and (
+                entry.version == graph.version or entry.refresh()
+            ):
+                return entry
+            if entry is None and len(cache) >= cls._CACHE_LIMIT:
+                # Evict the oldest entry (dict preserves insertion
+                # order) rather than wiping every warm index on the
+                # graph.
+                del cache[next(iter(cache))]
+            index = cls(graph, config)
+            cache[key] = index
+            return index
 
     def fresh(self) -> bool:
         return self.version == self.graph.version

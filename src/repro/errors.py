@@ -127,3 +127,13 @@ class KnowledgeBaseError(OnionError):
 
 class LexiconError(OnionError):
     """Semantic lexicon failure (unknown synset, malformed entry)."""
+
+
+class ServingError(OnionError):
+    """The serving subsystem cannot satisfy a request (bad state,
+    unknown session, no articulation loaded)."""
+
+
+class ProtocolError(ServingError):
+    """A serving request violates the JSON protocol (missing field,
+    wrong type, malformed atom)."""

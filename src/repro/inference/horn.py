@@ -2159,6 +2159,26 @@ class HornEngine:
         self._ensure_current()
         return self._store.iter_facts(predicate)
 
+    def detach_store(self) -> FactStore:
+        """Freeze the current store as a snapshot; keep working on a copy.
+
+        Saturates first, then swaps a fact-for-fact copy of the store
+        into the engine and returns the original, which this engine
+        will never touch again — the caller may publish it as a
+        consistent read-only snapshot (the serving tier's session
+        stores overlay it).  The copy is flat even when the current
+        store is overlay-backed, so repeated detaches never deepen a
+        chain.  Cost is O(closure) once per detach, paid by the
+        *writer* at a churn boundary — readers stay copy-free.
+        """
+        self._ensure_current()
+        old = self._store
+        fresh = FactStore()
+        for atom in old.iter_facts():
+            fresh.add(atom)
+        self._store = fresh
+        return old
+
     def fact_count(self, predicate: str | None = None) -> int:
         self._ensure_current()
         if predicate is None:

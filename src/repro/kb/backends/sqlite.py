@@ -28,6 +28,7 @@ import json
 import math
 import re
 import sqlite3
+import threading
 import time
 from collections.abc import Callable, Iterable, Iterator
 from contextlib import contextmanager
@@ -117,7 +118,26 @@ def condition_to_sql(condition) -> tuple[str, list[object]] | None:
 
 
 class SQLiteBackend(StorageBackend):
-    """Instances persisted in SQLite (a file path or ``:memory:``)."""
+    """Instances persisted in SQLite (a file path or ``:memory:``).
+
+    **Threading.** The backend is safe to share across threads — the
+    serving tier scans one store from many request threads — with two
+    connection regimes:
+
+    * **file databases** get one connection *per thread*
+      (thread-local, created on first use), so concurrent readers run
+      genuinely in parallel on independent connections and SQLite's
+      own file locking (plus the ``busy_timeout``/retry ladder)
+      arbitrates writers;
+    * **``:memory:``** cannot do that — each new connection to
+      ``:memory:`` is a *different* empty database — so all threads
+      share the one connection, serialized by an RLock held across
+      each statement (and across a whole :meth:`bulk` transaction).
+
+    Connections are opened with ``check_same_thread=False`` so
+    :meth:`close` can retire every thread's connection from whichever
+    thread tears the store down.
+    """
 
     ordered = True
     kind = "sqlite"
@@ -134,16 +154,20 @@ class SQLiteBackend(StorageBackend):
         self.path = str(path)
         self._retry = retry_policy or SQLITE_RETRY_POLICY
         self._fault_plan = fault_plan
+        self._busy_timeout_ms = int(busy_timeout_ms)
         #: locked-database retries performed (observability/tests)
         self.lock_retries = 0
-        # autocommit: every mutation is durable immediately; bulk()
-        # wraps loads in one transaction.
-        self._conn = sqlite3.connect(self.path, isolation_level=None)
-        # first line of defence: SQLite itself waits out a writer
-        # before surfacing "database is locked"; the _execute retry
-        # loop is the second, for busy shared caches and injected
-        # faults that the pragma cannot absorb.
-        self._conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        self._memory = self.path == ":memory:"
+        # guards the shared :memory: connection; re-entrant so bulk()
+        # can hold it across the statements it issues
+        self._conn_lock = threading.RLock()
+        self._local = threading.local()
+        self._conns: list[sqlite3.Connection] = []
+        self._conns_lock = threading.Lock()
+        self._closed = False
+        self._shared_conn: sqlite3.Connection | None = None
+        if self._memory:
+            self._shared_conn = self._connect()
         self._execute(
             "CREATE TABLE IF NOT EXISTS instances ("
             " instance_id TEXT PRIMARY KEY,"
@@ -156,6 +180,36 @@ class SQLiteBackend(StorageBackend):
         )
         #: last executed scan SQL, for explain/debugging/tests
         self.last_sql: str | None = None
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._closed:
+            raise sqlite3.ProgrammingError(
+                "Cannot operate on a closed database."
+            )
+        # autocommit: every mutation is durable immediately; bulk()
+        # wraps loads in one transaction.
+        conn = sqlite3.connect(
+            self.path, isolation_level=None, check_same_thread=False
+        )
+        # first line of defence: SQLite itself waits out a writer
+        # before surfacing "database is locked"; the _execute retry
+        # loop is the second, for busy shared caches and injected
+        # faults that the pragma cannot absorb.
+        conn.execute(f"PRAGMA busy_timeout = {self._busy_timeout_ms}")
+        with self._conns_lock:
+            self._conns.append(conn)
+        return conn
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """This thread's connection (the shared one for ``:memory:``)."""
+        if self._shared_conn is not None:
+            return self._shared_conn
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._connect()
+            self._local.conn = conn
+        return conn
 
     def _execute(self, sql: str, params: tuple | list = ()) -> sqlite3.Cursor:
         """Execute with bounded backoff-retry on transient lock errors.
@@ -177,6 +231,12 @@ class SQLiteBackend(StorageBackend):
                     raise sqlite3.OperationalError(
                         "database is locked (injected)"
                     )
+                if self._shared_conn is not None:
+                    # one statement at a time on the shared :memory:
+                    # connection; per-thread file connections need no
+                    # lock at all
+                    with self._conn_lock:
+                        return self._conn.execute(sql, params)
                 return self._conn.execute(sql, params)
             except sqlite3.OperationalError as exc:
                 if not _is_locked(exc) or attempt >= self._retry.max_retries:
@@ -226,15 +286,27 @@ class SQLiteBackend(StorageBackend):
         ``in_transaction`` guard means a rollback is attempted exactly
         when a transaction is actually open, so no exception can leave
         the connection wedged inside a stale BEGIN.
+
+        On a shared ``:memory:`` database the connection lock is held
+        for the whole transaction (it is re-entrant, so the body's own
+        statements nest), keeping other threads' autocommit statements
+        from landing inside the BEGIN.  File databases transact on the
+        calling thread's private connection and need no such fence.
         """
-        self._execute("BEGIN IMMEDIATE")
+        if self._shared_conn is not None:
+            self._conn_lock.acquire()
         try:
-            yield
-            self._execute("COMMIT")
-        except BaseException:
-            if self._conn.in_transaction:
-                self._conn.execute("ROLLBACK")
-            raise
+            self._execute("BEGIN IMMEDIATE")
+            try:
+                yield
+                self._execute("COMMIT")
+            except BaseException:
+                if self._conn.in_transaction:
+                    self._conn.execute("ROLLBACK")
+                raise
+        finally:
+            if self._shared_conn is not None:
+                self._conn_lock.release()
 
     # ------------------------------------------------------------------
     # point reads
@@ -363,7 +435,18 @@ class SQLiteBackend(StorageBackend):
             yield instance
 
     def close(self) -> None:
-        self._conn.close()
+        """Close every connection the backend ever opened (any thread).
+
+        Threads keep their (now closed) connection objects, so later
+        statements fail with sqlite3's own ProgrammingError — the same
+        contract a single closed connection always had.
+        """
+        with self._conns_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+            self._closed = True
+        for conn in conns:
+            conn.close()
 
     def __enter__(self) -> SQLiteBackend:
         return self

@@ -23,6 +23,7 @@ invalidates stale entries automatically.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Iterable
 from dataclasses import dataclass, field
@@ -281,19 +282,27 @@ class Planner:
         self.unified = unified
         self.pushdown = pushdown
         self.cache_size = cache_size
-        # key -> (plan, pinned rule objects)
+        # key -> (plan, pinned rule objects).  The lock covers every
+        # dict operation: the serving tier plans from concurrent
+        # request threads, and OrderedDict.move_to_end mid-resize is
+        # not atomic.  Building a plan happens OUTSIDE the lock — a
+        # concurrent double-build of the same key is idempotent, a
+        # serialized build would convoy every reader behind it.
         self._cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
 
     # -- cache plumbing -------------------------------------------------
     def cache_info(self) -> PlanCacheInfo:
-        return PlanCacheInfo(
-            self._hits, self._misses, len(self._cache), self.cache_size
-        )
+        with self._cache_lock:
+            return PlanCacheInfo(
+                self._hits, self._misses, len(self._cache), self.cache_size
+            )
 
     def cache_clear(self) -> None:
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
     def _cache_key(
         self, query: Query, available: frozenset[str] | None
@@ -320,20 +329,22 @@ class Planner:
             None if available is None else frozenset(available)
         )
         key = self._cache_key(query, key_available)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self._hits += 1
-            return cached[0]
-        self._misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return cached[0]
+            self._misses += 1
         plan = self._build(query, key_available)
         # Pin the rule objects the key fingerprinted (by id) for the
         # entry's lifetime: a replaced rule then cannot be allocated at
         # a freed rule's address, so its key can never collide.
         pins = tuple(self.unified.articulation.functions.values())
-        self._cache[key] = (plan, pins)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = (plan, pins)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
         return plan
 
     def _build(

@@ -1,0 +1,154 @@
+"""The serving tier's JSON protocol.
+
+Every request and response body is one JSON object; query results
+stream as JSON-lines (one row object per line, then a ``done`` trailer
+carrying counts and cache provenance).  This module is the wire-format
+layer shared by the HTTP server, its clients (the load generator, the
+CLI) and the tests: envelope builders, field extractors that raise
+:class:`~repro.errors.ProtocolError` on malformed input, and the
+atom/row codecs.
+
+Keeping the codec separate from both the transport
+(:mod:`repro.serving.server`) and the engine state
+(:mod:`repro.serving.service`) means the protocol can be exercised —
+and evolved — without standing up a socket.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "ok",
+    "error",
+    "require",
+    "optional",
+    "parse_atom",
+    "parse_atoms",
+    "atom_to_wire",
+    "row_to_wire",
+    "jsonl_stream",
+    "decode_body",
+]
+
+#: Inference operations the ``/infer`` endpoint accepts, mapped to the
+#: (predicate, bound position) they expand to.  ``implies`` asks a
+#: ground yes/no question; the rest enumerate one free position.
+INFER_OPS = frozenset(
+    {"generalizations", "specializations", "implies", "pattern"}
+)
+
+
+# ----------------------------------------------------------------------
+# envelopes
+# ----------------------------------------------------------------------
+def ok(payload: dict | None = None) -> dict:
+    """A success envelope: ``{"ok": true, ...payload}``."""
+    body = {"ok": True}
+    if payload:
+        body.update(payload)
+    return body
+
+
+def error(code: str, message: str) -> dict:
+    """An error envelope: ``{"ok": false, "error": code, "message"}``."""
+    return {"ok": False, "error": code, "message": message}
+
+
+# ----------------------------------------------------------------------
+# field extraction (validation at the protocol boundary)
+# ----------------------------------------------------------------------
+def decode_body(raw: bytes) -> dict:
+    """Decode a request body into a JSON object (empty body = ``{}``)."""
+    if not raw:
+        return {}
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def require(payload: dict, field: str, kind: type = str):
+    """The value of a mandatory field, type-checked."""
+    if field not in payload:
+        raise ProtocolError(f"missing required field {field!r}")
+    value = payload[field]
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, kind) or (
+        kind in (int, float) and isinstance(value, bool)
+    ):
+        raise ProtocolError(
+            f"field {field!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def optional(payload: dict, field: str, kind: type = str, default=None):
+    """The value of an optional field, type-checked when present."""
+    if field not in payload or payload[field] is None:
+        return default
+    return require(payload, field, kind)
+
+
+# ----------------------------------------------------------------------
+# atom / row codecs
+# ----------------------------------------------------------------------
+def parse_atom(value: object) -> tuple[str, ...]:
+    """A wire atom (``["implies", "a", "b"]``) as the engine tuple."""
+    if (
+        not isinstance(value, list)
+        or len(value) < 2
+        or not all(isinstance(part, str) for part in value)
+    ):
+        raise ProtocolError(
+            f"an atom is a list of 2+ strings, got {value!r}"
+        )
+    return tuple(value)
+
+
+def parse_atoms(payload: dict, field: str) -> list[tuple[str, ...]]:
+    """A list-of-atoms field (missing = empty)."""
+    value = payload.get(field, [])
+    if not isinstance(value, list):
+        raise ProtocolError(f"field {field!r} must be a list of atoms")
+    return [parse_atom(item) for item in value]
+
+
+def atom_to_wire(atom: tuple[str, ...]) -> list[str]:
+    return list(atom)
+
+
+def row_to_wire(row) -> dict:
+    """One :class:`~repro.query.executor.ResultRow` as a wire object."""
+    return {
+        "source": row.source,
+        "instance_id": row.instance_id,
+        "cls": row.cls,
+        "values": dict(row.values),
+    }
+
+
+def jsonl_stream(
+    rows: Iterable[dict], trailer: dict
+) -> Iterator[bytes]:
+    """Encode rows as JSON-lines, ending with a ``done`` trailer.
+
+    The trailer is evaluated *after* the rows are exhausted, so
+    callers may mutate it while the stream drains (row counts, cache
+    flags resolved at end of iteration).
+    """
+    for row in rows:
+        yield json.dumps(row, sort_keys=True).encode("utf-8") + b"\n"
+    done = {"done": True}
+    done.update(trailer)
+    yield json.dumps(done, sort_keys=True).encode("utf-8") + b"\n"

@@ -1,6 +1,7 @@
 """Workloads: the paper's Fig. 2 example, synthetic ontology families,
-the churn model for maintenance experiments, and the chaos harness
-that replays churn under seeded fault injection."""
+the churn model for maintenance experiments, the chaos harness that
+replays churn under seeded fault injection, and the serving load
+generator (Zipfian query mix + background churn + isolation audit)."""
 
 from repro.workloads.chaos import (
     CHAOS_CLAUSES,
@@ -14,6 +15,13 @@ from repro.workloads.churn import (
     Mutation,
     apply_churn,
     run_churn_workload,
+)
+from repro.workloads.loadgen import (
+    LoadClient,
+    LoadReport,
+    default_request_pool,
+    run_load,
+    zipf_weights,
 )
 from repro.workloads.generator import (
     Concept,
@@ -39,6 +47,8 @@ __all__ = [
     "ChurnReport",
     "ChurnRunResult",
     "Concept",
+    "LoadClient",
+    "LoadReport",
     "EXPECTED_ARTICULATION_TERMS",
     "EXPECTED_BRIDGES",
     "EXPECTED_INTERNAL_EDGES",
@@ -48,10 +58,13 @@ __all__ = [
     "apply_churn",
     "carrier_ontology",
     "chaos_batches",
+    "default_request_pool",
     "factory_ontology",
     "generate_transport_articulation",
     "generate_workload",
     "paper_rules",
     "run_chaos_campaign",
     "run_churn_workload",
+    "run_load",
+    "zipf_weights",
 ]

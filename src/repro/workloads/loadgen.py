@@ -1,0 +1,298 @@
+"""A concurrent load generator for the serving subsystem.
+
+Drives an :class:`~repro.serving.server.ArticulationServer` the way a
+mediator fleet would: ``clients`` threads each issue a fixed number of
+requests drawn from a **Zipfian** mix over a pool of cross-source
+queries and inference operations (weight ``1/rank^s`` — a few hot
+requests, a long cold tail, the distribution that makes a result
+cache earn its keep), while a background thread applies source churn
+batches through ``/churn`` and an **isolation auditor** holds one
+snapshot session open across the whole run, asserting after every
+probe that its pinned closure never moves under concurrent churn.
+
+Everything is seeded and counted (per-client RNGs, fixed request
+counts, a fixed churn schedule), so two runs against the same server
+build issue the same multiset of requests — latency numbers move,
+hit-rate and isolation numbers do not drift.
+
+The module speaks plain :mod:`http.client` — the load generator is
+also the reference client for the wire protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import statistics
+import threading
+from dataclasses import dataclass, field
+from random import Random
+from time import perf_counter, sleep
+
+from repro.errors import ServingError
+
+__all__ = [
+    "LoadClient",
+    "LoadReport",
+    "default_request_pool",
+    "run_load",
+    "zipf_weights",
+]
+
+
+def zipf_weights(n: int, s: float = 1.1) -> list[float]:
+    """Zipfian popularity weights for ranks ``1..n`` (``1/rank^s``)."""
+    if n < 1:
+        raise ServingError(f"need at least one request kind, got {n}")
+    return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+
+def default_request_pool() -> list[dict]:
+    """The request mix for the paper's transport workload.
+
+    Ordered hottest-first (rank 1 gets the largest Zipf weight): the
+    classic cross-source price queries lead, subsumption ops follow,
+    and a ground pattern probe brings up the tail.
+    """
+    return [
+        {"path": "/query", "body": {"query": "SELECT price FROM transport:Vehicle"}},
+        {"path": "/infer", "body": {"op": "generalizations", "term": "carrier:Car"}},
+        {"path": "/query", "body": {"query": "SELECT price FROM transport:CarsTrucks"}},
+        {"path": "/infer", "body": {"op": "specializations", "term": "transport:Vehicle"}},
+        {"path": "/query", "body": {"query": "SELECT price, owner FROM carrier:Car"}},
+        {"path": "/infer", "body": {"op": "implies", "term": "carrier:Car", "general": "transport:Vehicle"}},
+        {"path": "/query", "body": {"query": "SELECT weight FROM factory:Truck"}},
+        {"path": "/infer", "body": {"op": "generalizations", "term": "factory:Truck"}},
+        {"path": "/query", "body": {"query": "SELECT price FROM transport:PassengerCar"}},
+        {"path": "/infer", "body": {"op": "pattern", "atom": ["implies", "?x", "transport:Vehicle"]}},
+        {"path": "/query", "body": {"query": "SELECT model FROM carrier:Trucks"}},
+        {"path": "/infer", "body": {"op": "specializations", "term": "transport:CarsTrucks"}},
+    ]
+
+
+class LoadClient:
+    """One HTTP client: a persistent connection plus JSON helpers."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(self, method: str, path: str, body: dict | None = None) -> dict:
+        """One JSON round trip; JSON-lines responses fold into a dict.
+
+        Streamed ``/query`` responses return the ``done`` trailer with
+        the row objects under ``"row_data"`` — enough for the load
+        generator to count rows and read cache provenance.
+        """
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        self.conn.request(method, path, payload, headers)
+        response = self.conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if "ndjson" in content_type:
+            rows = [json.loads(line) for line in raw.splitlines() if line]
+            trailer = rows.pop() if rows and rows[-1].get("done") else {}
+            result = {"ok": response.status == 200, "row_data": rows}
+            result.update(trailer)
+            return result
+        decoded = json.loads(raw) if raw else {}
+        decoded.setdefault("ok", response.status == 200)
+        decoded["status"] = response.status
+        return decoded
+
+    def post(self, path: str, body: dict | None = None) -> dict:
+        return self.request("POST", path, body or {})
+
+    def get(self, path: str) -> dict:
+        return self.request("GET", path)
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run measured."""
+
+    clients: int = 0
+    requests: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    throughput_rps: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    churn_batches: int = 0
+    isolation_probes: int = 0
+    isolation_violations: int = 0
+    cache: dict = field(default_factory=dict)
+    server_stats: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "duration_s": round(self.duration_s, 4),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "churn_batches": self.churn_batches,
+            "isolation_probes": self.isolation_probes,
+            "isolation_violations": self.isolation_violations,
+            "cache": self.cache,
+        }
+
+
+def _percentiles(latencies_ms: list[float]) -> tuple[float, float]:
+    if not latencies_ms:
+        return 0.0, 0.0
+    if len(latencies_ms) == 1:
+        return latencies_ms[0], latencies_ms[0]
+    cuts = statistics.quantiles(latencies_ms, n=100, method="inclusive")
+    return cuts[49], cuts[98]
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    clients: int = 8,
+    requests_per_client: int = 40,
+    seed: int = 0,
+    zipf_s: float = 1.1,
+    churn_batches: int = 5,
+    churn_mutations: int = 3,
+    churn_pause_s: float = 0.01,
+    churn_sources: tuple[str, ...] = ("carrier", "factory"),
+    pool: list[dict] | None = None,
+    audit_term: str = "carrier:Car",
+) -> LoadReport:
+    """Run the full workload against a live server; see module docs.
+
+    The run finishes when every client has issued its quota (fixed
+    request counts, not wall-clock — determinism over duration).  The
+    churn thread stops with the clients, whichever comes first; the
+    auditor's session is refreshed and re-probed at the very end, so a
+    run also covers the explicit re-pin path.
+    """
+    if clients < 1 or requests_per_client < 1:
+        raise ServingError("clients and requests_per_client must be >= 1")
+    pool = pool if pool is not None else default_request_pool()
+    weights = zipf_weights(len(pool), zipf_s)
+    report = LoadReport(clients=clients)
+    latencies_ms: list[list[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+    clients_done = threading.Event()
+
+    def client_loop(index: int) -> None:
+        rng = Random(seed * 7919 + index)
+        client = LoadClient(host, port)
+        try:
+            for _ in range(requests_per_client):
+                choice = rng.choices(pool, weights)[0]
+                started = perf_counter()
+                try:
+                    result = client.post(choice["path"], choice["body"])
+                    if not result.get("ok", False):
+                        errors[index] += 1
+                except (OSError, http.client.HTTPException, ValueError):
+                    errors[index] += 1
+                    client.close()
+                    client = LoadClient(host, port)
+                    continue
+                latencies_ms[index].append(
+                    (perf_counter() - started) * 1000.0
+                )
+        finally:
+            client.close()
+
+    # -- the isolation auditor: one session, one invariant -------------
+    audit = LoadClient(host, port)
+    session_id = audit.post("/sessions", {})["session"]
+    probe = {
+        "op": "generalizations",
+        "term": audit_term,
+        "session": session_id,
+    }
+    baseline = audit.post("/infer", probe)["terms"]
+
+    audit_stop = threading.Event()
+
+    def audit_loop() -> None:
+        while not audit_stop.is_set():
+            answer = audit.post("/infer", probe)["terms"]
+            report.isolation_probes += 1
+            if answer != baseline:
+                report.isolation_violations += 1
+            sleep(0.002)
+
+    # -- background churn: a fixed, seeded schedule ---------------------
+    def churn_loop() -> None:
+        churner = LoadClient(host, port)
+        sources = list(churn_sources)
+        try:
+            for batch in range(churn_batches):
+                if clients_done.is_set():
+                    break
+                result = churner.post(
+                    "/churn",
+                    {
+                        "source": sources[batch % len(sources)],
+                        "mutations": churn_mutations,
+                        "seed": seed * 104729 + batch,
+                        # never delete classes the query pool targets;
+                        # edge deletions keep the retraction path hot
+                        "delete_weight": 0.0,
+                    },
+                )
+                if result.get("ok", False):
+                    report.churn_batches += 1
+                sleep(churn_pause_s)
+        finally:
+            churner.close()
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    auditor = threading.Thread(target=audit_loop, daemon=True)
+    churner = threading.Thread(target=churn_loop, daemon=True)
+
+    started = perf_counter()
+    for thread in threads:
+        thread.start()
+    auditor.start()
+    churner.start()
+    for thread in threads:
+        thread.join()
+    clients_done.set()
+    churner.join()
+    audit_stop.set()
+    auditor.join()
+    report.duration_s = perf_counter() - started
+
+    # the frozen snapshot must have survived every churn batch; after
+    # an explicit refresh the session re-pins the *live* fixpoint
+    final_frozen = audit.post("/infer", probe)["terms"]
+    report.isolation_probes += 1
+    if final_frozen != baseline:
+        report.isolation_violations += 1
+    audit.post(f"/sessions/{session_id}/refresh", {})
+    audit.post("/infer", probe)  # answered from the re-pinned store
+    audit.post(f"/sessions/{session_id}/close", {})
+
+    stats = audit.get("/stats")
+    audit.close()
+
+    flat = [ms for per_client in latencies_ms for ms in per_client]
+    report.requests = clients * requests_per_client
+    report.errors = sum(errors)
+    report.throughput_rps = (
+        report.requests / report.duration_s if report.duration_s else 0.0
+    )
+    report.p50_ms, report.p99_ms = _percentiles(flat)
+    report.cache = dict(stats.get("cache", {}))
+    report.server_stats = {
+        k: v for k, v in stats.items() if k not in ("ok", "status")
+    }
+    return report

@@ -1,0 +1,169 @@
+"""Multi-threaded access to :class:`SQLiteBackend`.
+
+Two regimes, mirroring the class docstring: file-backed databases hand
+each thread its own connection (sqlite serializes at the file), while
+``:memory:`` shares one connection behind an RLock (a second in-memory
+connection would see a *different* empty database).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.kb.backends.sqlite import SQLiteBackend
+from repro.kb.instances import Instance
+
+THREADS = 8
+READS = 40
+
+
+def _seed(backend: SQLiteBackend, n: int = 25) -> None:
+    with backend.bulk():
+        for i in range(n):
+            backend.insert(Instance(f"i{i}", "Car", {"price": i * 100}))
+
+
+def _read_worker(backend: SQLiteBackend, errors: list) -> None:
+    try:
+        for i in range(READS):
+            rows = list(backend.scan(["Car"]))
+            assert len(rows) >= 25
+            got = backend.get(f"i{i % 25}")
+            assert got is not None
+            assert got.attributes["price"] == (i % 25) * 100
+    except BaseException as exc:  # pragma: no cover - failure path
+        errors.append(exc)
+
+
+def _run(backend: SQLiteBackend) -> list:
+    errors: list = []
+    pool = [
+        threading.Thread(target=_read_worker, args=(backend, errors))
+        for _ in range(THREADS)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return errors
+
+
+class TestFileBackedThreading:
+    def test_threads_get_private_connections(self, tmp_path) -> None:
+        backend = SQLiteBackend(str(tmp_path / "kb.db"))
+        _seed(backend)
+        conns: list[int] = []
+        lock = threading.Lock()
+        # hold every thread alive until all have grabbed their conn, so
+        # thread idents (and thread-local slots) cannot be recycled
+        barrier = threading.Barrier(4)
+
+        def worker() -> None:
+            ident = id(backend._conn)
+            with lock:
+                conns.append(ident)
+            barrier.wait(timeout=5)
+
+        pool = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len(set(conns)) == 4, "one connection per thread"
+        assert id(backend._conn) not in conns
+        backend.close()
+
+    def test_concurrent_reads(self, tmp_path) -> None:
+        backend = SQLiteBackend(str(tmp_path / "kb.db"))
+        _seed(backend)
+        assert _run(backend) == []
+        backend.close()
+
+    def test_concurrent_reads_with_writer(self, tmp_path) -> None:
+        backend = SQLiteBackend(str(tmp_path / "kb.db"))
+        _seed(backend)
+        stop = threading.Event()
+        errors: list = []
+
+        def writer() -> None:
+            try:
+                for i in range(1000, 1150):
+                    if stop.is_set():
+                        break
+                    backend.insert(Instance(f"w{i}", "Truck", {"price": i}))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            errors.extend(_run(backend))
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+        backend.close()
+
+
+class TestMemoryBackedThreading:
+    def test_memory_shares_one_connection(self) -> None:
+        backend = SQLiteBackend()
+        _seed(backend)
+        conns = set()
+        lock = threading.Lock()
+
+        def worker() -> None:
+            with lock:
+                conns.add(id(backend._conn))
+
+        pool = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        conns.add(id(backend._conn))
+        assert len(conns) == 1, ":memory: must share the single connection"
+        backend.close()
+
+    def test_concurrent_reads_on_memory(self) -> None:
+        backend = SQLiteBackend()
+        _seed(backend)
+        assert _run(backend) == []
+        backend.close()
+
+    def test_bulk_excludes_concurrent_statements(self) -> None:
+        backend = SQLiteBackend()
+        _seed(backend, n=5)
+        errors: list = []
+        started = threading.Event()
+
+        def bulk_writer() -> None:
+            try:
+                with backend.bulk():
+                    started.set()
+                    for i in range(200):
+                        backend.insert(
+                            Instance(f"b{i}", "Bus", {"price": i})
+                        )
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                started.wait(timeout=5)
+                for _ in range(50):
+                    len(backend)
+                    list(backend.scan(["Car"]))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=bulk_writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert errors == []
+        assert backend.get("b199") is not None
+        backend.close()

@@ -1,0 +1,88 @@
+"""The server-wide query-result cache: LRU, keys, invalidation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving import QueryResultCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self) -> None:
+        cache = QueryResultCache(maxsize=4)
+        key = QueryResultCache.key("query", "SELECT x", (1, 2), 0)
+        assert cache.get(key) is None
+        cache.put(key, ["row"])
+        assert cache.get(key) == ["row"]
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_key_distinguishes_every_component(self) -> None:
+        base = QueryResultCache.key("query", "q", (1,), 0)
+        assert QueryResultCache.key("infer", "q", (1,), 0) != base
+        assert QueryResultCache.key("query", "q2", (1,), 0) != base
+        assert QueryResultCache.key("query", "q", (2,), 0) != base
+        assert QueryResultCache.key("query", "q", (1,), 1) != base
+
+    def test_lru_evicts_oldest(self) -> None:
+        cache = QueryResultCache(maxsize=2)
+        keys = [QueryResultCache.key("q", str(i), None, 0) for i in range(3)]
+        cache.put(keys[0], 0)
+        cache.put(keys[1], 1)
+        assert cache.get(keys[0]) == 0  # refresh key 0
+        cache.put(keys[2], 2)  # evicts key 1, not key 0
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == 0
+        assert len(cache) == 2
+
+    def test_invalidate_drops_everything(self) -> None:
+        cache = QueryResultCache()
+        for i in range(5):
+            cache.put(QueryResultCache.key("q", str(i), None, 0), i)
+        assert cache.invalidate() == 5
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_maxsize_validated(self) -> None:
+        with pytest.raises(ValueError):
+            QueryResultCache(maxsize=0)
+
+    def test_hit_rate(self) -> None:
+        cache = QueryResultCache()
+        key = QueryResultCache.key("q", "x", None, 0)
+        cache.get(key)
+        cache.put(key, 1)
+        cache.get(key)
+        assert cache.stats()["hit_rate"] == 0.5
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_stay_consistent(self) -> None:
+        cache = QueryResultCache(maxsize=32)
+        errors: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                for i in range(300):
+                    key = QueryResultCache.key("q", str(i % 40), None, index)
+                    if i % 10 == 0:
+                        cache.invalidate()
+                    cache.put(key, i)
+                    value = cache.get(key)
+                    assert value is None or isinstance(value, int)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 300

@@ -1,0 +1,107 @@
+"""The serving wire codec: envelopes, validation, atoms, JSON-lines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serving import protocol
+
+
+class TestEnvelopes:
+    def test_ok_merges_payload(self) -> None:
+        assert protocol.ok({"a": 1}) == {"ok": True, "a": 1}
+        assert protocol.ok() == {"ok": True}
+
+    def test_error_envelope(self) -> None:
+        body = protocol.error("protocol", "bad field")
+        assert body == {"ok": False, "error": "protocol", "message": "bad field"}
+
+
+class TestDecodeBody:
+    def test_empty_body_is_empty_object(self) -> None:
+        assert protocol.decode_body(b"") == {}
+
+    def test_valid_json_object(self) -> None:
+        assert protocol.decode_body(b'{"x": 1}') == {"x": 1}
+
+    def test_malformed_json_raises(self) -> None:
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.decode_body(b"{nope")
+
+    def test_non_object_raises(self) -> None:
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            protocol.decode_body(b"[1, 2]")
+
+
+class TestFields:
+    def test_require_present(self) -> None:
+        assert protocol.require({"q": "x"}, "q") == "x"
+
+    def test_require_missing(self) -> None:
+        with pytest.raises(ProtocolError, match="missing required field"):
+            protocol.require({}, "q")
+
+    def test_require_wrong_type(self) -> None:
+        with pytest.raises(ProtocolError, match="must be str"):
+            protocol.require({"q": 3}, "q")
+
+    def test_require_int_rejects_bool(self) -> None:
+        with pytest.raises(ProtocolError, match="must be int"):
+            protocol.require({"n": True}, "n", int)
+
+    def test_require_float_accepts_int(self) -> None:
+        assert protocol.require({"w": 1}, "w", float) == 1.0
+
+    def test_optional_default_and_null(self) -> None:
+        assert protocol.optional({}, "s", int, 7) == 7
+        assert protocol.optional({"s": None}, "s", int, 7) == 7
+        assert protocol.optional({"s": 3}, "s", int, 7) == 3
+
+
+class TestAtoms:
+    def test_parse_atom(self) -> None:
+        assert protocol.parse_atom(["implies", "a", "b"]) == (
+            "implies",
+            "a",
+            "b",
+        )
+
+    @pytest.mark.parametrize(
+        "bad", [["onlypred"], "implies", ["implies", 3], [], None]
+    )
+    def test_parse_atom_rejects(self, bad) -> None:
+        with pytest.raises(ProtocolError, match="list of 2\\+ strings"):
+            protocol.parse_atom(bad)
+
+    def test_parse_atoms_missing_field_is_empty(self) -> None:
+        assert protocol.parse_atoms({}, "adds") == []
+
+    def test_parse_atoms_non_list_rejected(self) -> None:
+        with pytest.raises(ProtocolError, match="must be a list"):
+            protocol.parse_atoms({"adds": "x"}, "adds")
+
+
+class TestJsonlStream:
+    def test_rows_then_trailer(self) -> None:
+        chunks = list(
+            protocol.jsonl_stream(
+                iter([{"a": 1}, {"b": 2}]), {"rows": 2, "cached": False}
+            )
+        )
+        lines = [json.loads(c) for c in chunks]
+        assert lines[0] == {"a": 1}
+        assert lines[1] == {"b": 2}
+        assert lines[2] == {"done": True, "rows": 2, "cached": False}
+
+    def test_trailer_reads_late_mutations(self) -> None:
+        trailer: dict = {}
+
+        def rows():
+            yield {"r": 1}
+            trailer["rows"] = 1  # resolved only after rows drain
+
+        lines = [json.loads(c) for c in protocol.jsonl_stream(rows(), trailer)]
+        assert lines[-1] == {"done": True, "rows": 1}
