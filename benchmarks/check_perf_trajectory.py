@@ -157,6 +157,32 @@ def _metrics_serving(payload: dict) -> dict[str, float]:
     return {k: v for k, v in out.items() if v is not None}
 
 
+def _metrics_outofcore(payload: dict) -> dict[str, float]:
+    w = payload.get("workloads", {})
+    out: dict[str, float | None] = {}
+    series = w.get("parity_overhead", {})
+    if series:
+        top = max(series, key=lambda k: int(k))
+        point = series[top]
+        # inverted on purpose: the gate fails on *drops*, so the
+        # tracked number is the paged store's efficiency against the
+        # in-memory store (1/overhead) — buffer-pool or batching
+        # regressions make the paged side slower and drag it down
+        out[f"outofcore.paged_overhead@{top}"] = _ratio(
+            point.get("memory_ms"), point.get("paged_ms")
+        )
+        # parity is correctness wearing a metric's clothes: 1.0 or fail
+        out["outofcore.closure_parity"] = min(
+            (p.get("parity", 0.0) for p in series.values()), default=None
+        )
+    million = w.get("million_fact_closure", {})
+    buffer = million.get("paged", {}).get("buffer", {})
+    # machine-independent: the hit rate depends on the access pattern
+    # and eviction policy, not on clock speed
+    out["outofcore.buffer_hit_rate"] = buffer.get("hit_rate")
+    return {k: v for k, v in out.items() if v is not None}
+
+
 EXTRACTORS = {
     "BENCH_inference.json": _metrics_inference,
     "BENCH_retraction.json": _metrics_retraction,
@@ -164,6 +190,7 @@ EXTRACTORS = {
     "BENCH_articulation.json": _metrics_articulation,
     "BENCH_resilience.json": _metrics_resilience,
     "BENCH_serving.json": _metrics_serving,
+    "BENCH_outofcore.json": _metrics_outofcore,
 }
 
 

@@ -282,6 +282,9 @@ def build_server(args: argparse.Namespace):
         result_cache_size=args.cache_size,
         session_limit=args.sessions,
         journal_path=args.journal,
+        storage=args.storage,
+        storage_path=args.storage_db,
+        buffer_facts=args.buffer_facts,
         workers=args.workers,
     )
     if args.workload == "paper":
@@ -319,6 +322,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.kb.ingest import ingest_facts, iter_fact_file
+    from repro.kb.pagestore import DEFAULT_BUFFER_FACTS
+
+    report = ingest_facts(
+        args.db,
+        iter_fact_file(args.facts, fmt=args.fmt),
+        batch_size=args.batch_size,
+        buffer_facts=(
+            args.buffer_facts
+            if args.buffer_facts is not None
+            else DEFAULT_BUFFER_FACTS
+        ),
+        journal_path=args.journal,
+    )
+    print(
+        f"ingested {report['added']} fact(s) into {report['db']} "
+        f"({report['staged']} staged, {report['deduplicated']} duplicate(s), "
+        f"{report['batches']} batch(es), {report['elapsed_ms']:.0f}ms)"
+    )
+    if report["journaled"]:
+        print(f"journaled snapshot of {report['journaled']} fact(s)")
     return 0
 
 
@@ -551,11 +579,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="saturation worker processes"
     )
     serve.add_argument(
+        "--storage",
+        choices=["memory", "paged"],
+        default="memory",
+        help="closure fact storage: in-memory dicts or a disk-backed "
+        "paged store (bounded memory at any closure size)",
+    )
+    serve.add_argument(
+        "--storage-db",
+        dest="storage_db",
+        help="paged-store database file (e.g. one produced by "
+        "'onion ingest'); default is a private temp file",
+    )
+    serve.add_argument(
+        "--buffer-facts",
+        dest="buffer_facts",
+        type=int,
+        help="paged-store buffer-pool capacity, in facts",
+    )
+    serve.add_argument(
         "--pushdown",
         action="store_true",
         help="translate WHERE predicates into each source's metric",
     )
     serve.set_defaults(fn=cmd_serve, workload=None)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="bulk-load a fact file into a paged-store database",
+    )
+    ingest.add_argument(
+        "facts", help="fact file: JSON-lines arrays or TSV, one atom/line"
+    )
+    ingest.add_argument(
+        "--db", required=True, help="paged-store database file to load into"
+    )
+    ingest.add_argument(
+        "--format",
+        choices=["auto", "jsonl", "tsv"],
+        default="auto",
+        dest="fmt",
+        help="fact-file format (default: sniff the first line)",
+    )
+    ingest.add_argument(
+        "--batch-size",
+        dest="batch_size",
+        type=int,
+        default=20000,
+        help="facts per executemany staging batch",
+    )
+    ingest.add_argument(
+        "--buffer-facts",
+        dest="buffer_facts",
+        type=int,
+        help="buffer-pool capacity for the load, in facts",
+    )
+    ingest.add_argument(
+        "--journal",
+        help="also write the loaded base as one ChurnJournal snapshot "
+        "(makes the ingested state the crash-recovery baseline)",
+    )
+    ingest.set_defaults(fn=cmd_ingest)
 
     loadgen = sub.add_parser(
         "loadgen",

@@ -443,7 +443,19 @@ class MatchIndex:
         """
         rows = self.graph.journal_since(self.version)
         if rows is None:
+            # Falling back to a rebuild ends this index's incremental
+            # streak: without the reset, a direct holder that rebuilds
+            # and keeps polling the counter over-reports replays that
+            # never happened.
+            self.delta_refreshes = 0
             return False
+        if rows:
+            # A spill-backed label cache can only be patched where the
+            # replay can see it (the in-memory side); spilled entries
+            # would come back stale, so they are dropped wholesale.
+            invalidate = getattr(self._label_cache, "invalidate_spilled", None)
+            if invalidate is not None:
+                invalidate()
         for row in rows:
             op = row[1]
             if op == "add_node":
@@ -466,6 +478,25 @@ class MatchIndex:
         if rows:
             self.delta_refreshes += 1
         return True
+
+    def enable_spill(self, capacity: int = 128, path: str | None = None):
+        """Bound the label→candidate memo, spilling overflow to disk.
+
+        Swaps ``_label_cache`` for a
+        :class:`~repro.kb.pagestore.LabelSpillCache`: the hottest
+        ``capacity`` pattern labels stay in memory, colder ones move
+        to a SQLite side table and are promoted back on access — the
+        out-of-core discipline of :class:`PagedFactStore`, applied to
+        the matcher.  Already-memoized entries are carried over.
+        Returns the spill cache (for stats and explicit ``close``).
+        """
+        from repro.kb.pagestore import LabelSpillCache
+
+        spill = LabelSpillCache(capacity, path)
+        for label, nodes in self._label_cache.items():
+            spill[label] = nodes
+        self._label_cache = spill
+        return spill
 
     def _replay_add_node(self, node_id: str, label: str) -> None:
         # Membership in a cached candidate tuple is exactly condition 1

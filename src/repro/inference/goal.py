@@ -53,6 +53,9 @@ class GoalDirectedEngine:
         self,
         *,
         strategy: str = "seminaive",
+        storage: str = "memory",
+        storage_path: str | None = None,
+        buffer_facts: int | None = None,
         workers: int = 1,
         retry_policy=None,
         fault_plan=None,
@@ -63,7 +66,22 @@ class GoalDirectedEngine:
         # parallel slice saturation rides the same hardened scheduler
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
-        self._store = FactStore()  # master base facts, indexes shared
+        if storage == "paged":
+            from repro.kb.pagestore import PagedFactStore
+
+            kwargs: dict[str, int] = {}
+            if buffer_facts is not None:
+                kwargs["buffer_facts"] = buffer_facts
+            # the master base store pages through SQLite; each goal
+            # slice stays a copy-free in-memory overlay on top of it,
+            # so slice saturation writes never touch the disk store
+            self._store: FactStore = PagedFactStore(  # type: ignore[assignment]
+                storage_path, **kwargs
+            )
+        elif storage == "memory":
+            self._store = FactStore()  # master base facts, shared indexes
+        else:
+            raise InferenceError(f"unknown storage backend {storage!r}")
         self._clauses: list[HornClause] = []
         self._clause_set: set[HornClause] = set()
         # predicate -> predicates its derivation may depend on (direct)

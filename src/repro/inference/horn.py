@@ -1154,7 +1154,14 @@ class HornEngine:
     inherently flat, so the knob is inert there.
     ``record_derivations=False`` skips provenance bookkeeping for a
     faster engine whose :meth:`explain` raises.  ``store`` lets a
-    caller supply a (possibly overlay) :class:`FactStore`.
+    caller supply a (possibly overlay) :class:`FactStore`; absent
+    that, ``storage`` picks who builds it — ``"memory"`` (dict-backed
+    :class:`FactStore`) or ``"paged"`` (a disk-backed
+    :class:`~repro.kb.pagestore.PagedFactStore` whose index buckets
+    page through a buffer pool of at most ``buffer_facts`` facts,
+    living at ``storage_path`` or a private temporary file).  The
+    engine never looks at which one it got: both stores answer the
+    same (predicate, position, value) index contract.
 
     ``workers`` above 1 dispatches independent SCC strata to a shared
     process pool (:class:`ParallelScheduler`) during full and
@@ -1185,6 +1192,9 @@ class HornEngine:
         scheduling: str = "stratified",
         record_derivations: bool = True,
         store: FactStore | None = None,
+        storage: str = "memory",
+        storage_path: str | None = None,
+        buffer_facts: int | None = None,
         workers: int = 1,
         rebuild_crossover: int | None = None,
         retry_policy: RetryPolicy | None = None,
@@ -1195,11 +1205,16 @@ class HornEngine:
             raise InferenceError(f"unknown evaluation strategy {strategy!r}")
         if scheduling not in ("stratified", "flat"):
             raise InferenceError(f"unknown scheduling {scheduling!r}")
+        if storage not in ("memory", "paged"):
+            raise InferenceError(f"unknown storage backend {storage!r}")
         if workers < 1:
             raise InferenceError(f"workers must be >= 1, got {workers!r}")
         self.strategy = strategy
         self.scheduling = scheduling
         self.record_derivations = record_derivations
+        self.storage = storage
+        self.storage_path = storage_path
+        self.buffer_facts = buffer_facts
         self.workers = workers
         self.rebuild_crossover = (
             seed_rebuild_crossover()
@@ -1210,7 +1225,9 @@ class HornEngine:
         self.fault_plan = fault_plan
         self.journal = journal
         self.last_calibration: list[dict[str, float]] = []
-        self._store = store if store is not None else FactStore()
+        self._store = store if store is not None else self._new_store(
+            initial=True
+        )
         self._clauses: list[HornClause] = []
         self._clause_set: set[HornClause] = set()
         self._compiled: list[CompiledClause] = []
@@ -1232,6 +1249,27 @@ class HornEngine:
         self._strata: list[list[CompiledClause]] | None = None
         self._stratum_deps: list[set[int]] | None = None
         self.last_stats: dict[str, int | str] = _new_stats("idle")
+
+    def _new_store(self, *, initial: bool = False) -> FactStore:
+        """A fresh empty store honoring the engine's ``storage`` choice.
+
+        ``initial`` is True only for the constructor's store: an
+        explicit ``storage_path`` names *that* database, so later
+        stores (``detach_store`` replacements) always get private
+        temporary files rather than clobbering the original.
+        """
+        if self.storage == "paged":
+            # local import: kb.pagestore depends on nothing in the
+            # inference layer, but importing it eagerly would make the
+            # in-memory fast path pay for sqlite3 at import time
+            from repro.kb.pagestore import PagedFactStore
+
+            kwargs: dict[str, int] = {}
+            if self.buffer_facts is not None:
+                kwargs["buffer_facts"] = self.buffer_facts
+            path = self.storage_path if initial else None
+            return PagedFactStore(path, **kwargs)  # type: ignore[return-value]
+        return FactStore()
 
     # ------------------------------------------------------------------
     # program construction
@@ -2173,7 +2211,7 @@ class HornEngine:
         """
         self._ensure_current()
         old = self._store
-        fresh = FactStore()
+        fresh = self._new_store()
         for atom in old.iter_facts():
             fresh.add(atom)
         self._store = fresh

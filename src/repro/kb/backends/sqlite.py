@@ -168,6 +168,11 @@ class SQLiteBackend(StorageBackend):
         self._shared_conn: sqlite3.Connection | None = None
         if self._memory:
             self._shared_conn = self._connect()
+        self._create_schema()
+        #: last executed scan SQL, for explain/debugging/tests
+        self.last_sql: str | None = None
+
+    def _create_schema(self) -> None:
         self._execute(
             "CREATE TABLE IF NOT EXISTS instances ("
             " instance_id TEXT PRIMARY KEY,"
@@ -178,8 +183,6 @@ class SQLiteBackend(StorageBackend):
             "CREATE INDEX IF NOT EXISTS idx_instances_cls"
             " ON instances (cls)"
         )
-        #: last executed scan SQL, for explain/debugging/tests
-        self.last_sql: str | None = None
 
     def _connect(self) -> sqlite3.Connection:
         if self._closed:
@@ -292,6 +295,12 @@ class SQLiteBackend(StorageBackend):
         statements nest), keeping other threads' autocommit statements
         from landing inside the BEGIN.  File databases transact on the
         calling thread's private connection and need no such fence.
+
+        If the *rollback itself* fails, the connection's transaction
+        state is unknowable — ``in_transaction`` may keep reporting an
+        open BEGIN that can never be closed — so the connection is
+        discarded and replaced outright: a later :meth:`bulk` must
+        never find a half-open transaction it did not start.
         """
         if self._shared_conn is not None:
             self._conn_lock.acquire()
@@ -302,11 +311,52 @@ class SQLiteBackend(StorageBackend):
                 self._execute("COMMIT")
             except BaseException:
                 if self._conn.in_transaction:
-                    self._conn.execute("ROLLBACK")
+                    try:
+                        self._rollback()
+                    except sqlite3.Error:
+                        self._reset_connection()
                 raise
         finally:
             if self._shared_conn is not None:
                 self._conn_lock.release()
+
+    def _rollback(self) -> None:
+        """Roll back the current transaction (bulk's failure path).
+
+        A seam on purpose: rollback failures are nearly impossible to
+        provoke organically, so the resilience test patches this to
+        fail and asserts :meth:`bulk` recovers the connection.
+        """
+        self._conn.execute("ROLLBACK")
+
+    def _reset_connection(self) -> None:
+        """Discard the calling context's connection and open a fresh one.
+
+        For a file database the data is on disk and the replacement
+        connection sees it unchanged (minus the rolled-back work).  A
+        shared ``:memory:`` database dies with its connection, so the
+        schema is re-created on the replacement — the store comes back
+        empty but *usable*, which is the contract that matters: the
+        failed transaction already made the content unreliable.
+        """
+        old = (
+            self._shared_conn
+            if self._shared_conn is not None
+            else getattr(self._local, "conn", None)
+        )
+        if old is not None:
+            with self._conns_lock:
+                if old in self._conns:
+                    self._conns.remove(old)
+            try:
+                old.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+        if self._shared_conn is not None:
+            self._shared_conn = self._connect()
+            self._create_schema()
+        else:
+            self._local.conn = self._connect()
 
     # ------------------------------------------------------------------
     # point reads

@@ -22,8 +22,17 @@ Every append is flushed and fsynced before ``apply_batch`` proceeds.
 Reads tolerate a torn tail — a half-written last line (the crash
 happened mid-append) is discarded, which is the correct transactional
 outcome: an un-durable begin record is a batch that never happened.
-:meth:`snapshot` compacts the file (atomically, via rename) so long
-campaigns do not replay their entire history on recovery.
+The next append *truncates* that torn tail before writing (rather
+than sealing it into the file with a newline), which keeps the format
+unambiguous: an undecodable line **followed by valid records** can
+only mean genuine mid-file corruption (disk rot, a compaction crash
+racing an append).  Reads then trust only the contiguous prefix —
+replaying diffs on top of a hole would apply them to the wrong base —
+surface the dropped record count as ``truncated_records``, and
+compact the file back to the trusted prefix so later appends land on
+clean ground.  :meth:`snapshot` compacts the file (atomically, via
+rename) so long campaigns do not replay their entire history on
+recovery.
 """
 
 from __future__ import annotations
@@ -82,7 +91,16 @@ class ChurnJournal:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._next_seq = 1
-        for record in self._load():
+        records, truncated = self._scan()
+        #: records dropped because they followed mid-file corruption
+        #: (0 for a clean file or a merely torn tail)
+        self.truncated_records = truncated
+        if truncated:
+            # Compact to the trusted prefix now: without this, every
+            # *future* append would also sit after the corruption and
+            # be unreadable to the next open.
+            self._rewrite(records)
+        for record in records:
             if record.get("type") == "begin":
                 seq = record.get("seq")
                 if isinstance(seq, int) and seq >= self._next_seq:
@@ -93,21 +111,36 @@ class ChurnJournal:
     # ------------------------------------------------------------------
     def _append(self, record: dict[str, object]) -> None:
         line = json.dumps(record, sort_keys=True)
+        self._heal_torn_tail()
         with open(self.path, "a", encoding="utf-8") as handle:
-            # a torn previous append must not merge into this record
-            if handle.tell() and not self._ends_with_newline():
-                handle.write("\n")
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
 
-    def _ends_with_newline(self) -> bool:
+    def _heal_torn_tail(self) -> None:
+        """Cut off a half-written final line before appending.
+
+        The torn line was never durable, so removing it is sound and
+        idempotent.  Truncating (instead of sealing the garbage in
+        with a newline) is what keeps mid-file corruption detectable:
+        in a healthy journal no valid record ever follows an
+        undecodable line.
+        """
         try:
-            with open(self.path, "rb") as handle:
+            with open(self.path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
                 handle.seek(-1, os.SEEK_END)
-                return handle.read(1) == b"\n"
-        except (OSError, ValueError):
-            return True
+                if handle.read(1) == b"\n":
+                    return
+                handle.seek(0)
+                data = handle.read()
+                handle.truncate(data.rfind(b"\n") + 1)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except FileNotFoundError:
+            return
 
     def begin(
         self, adds: list["Atom"], retracts: list["Atom"]
@@ -136,16 +169,31 @@ class ChurnJournal:
         the previous journal intact.  Call after a batch commits; the
         snapshot plus later records fully determine the engine.
         """
+        self.snapshot_state(engine.base_facts(), engine.clauses())
+
+    def snapshot_state(self, facts, clauses=()) -> int:
+        """Compact to an explicit ``(facts, clauses)`` program.
+
+        The engine-free flavor of :meth:`snapshot`, used by the bulk
+        ingest path — a just-loaded fact base has no engine yet, but
+        recovery must still find one snapshot that fully determines
+        it.  Returns the number of facts written.
+        """
+        atoms = sorted(facts)
         record = {
             "type": "snapshot",
-            "facts": [
-                _atom_to_json(a) for a in sorted(engine.base_facts())
-            ],
-            "clauses": [_clause_to_json(c) for c in engine.clauses()],
+            "facts": [_atom_to_json(a) for a in atoms],
+            "clauses": [_clause_to_json(c) for c in clauses],
         }
+        self._rewrite([record])
+        return len(atoms)
+
+    def _rewrite(self, records: list[dict[str, object]]) -> None:
+        """Atomically replace the file with exactly these records."""
         temp = self.path.with_suffix(self.path.suffix + ".tmp")
         with open(temp, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp, self.path)
@@ -153,13 +201,23 @@ class ChurnJournal:
     # ------------------------------------------------------------------
     # reading the log back
     # ------------------------------------------------------------------
-    def _load(self) -> list[dict[str, object]]:
-        """Every decodable record, in order; torn/garbage lines skipped."""
+    def _scan(self) -> tuple[list[dict[str, object]], int]:
+        """(contiguous-prefix records, records dropped after corruption).
+
+        Only the prefix before the first undecodable line is trusted:
+        diffs are replayed in order onto the state the earlier records
+        built, so a record *after* a hole would be applied to the
+        wrong base.  A torn tail — garbage with nothing decodable
+        after it — drops silently (count 0): that record was never
+        durable, so nothing was lost.
+        """
         records: list[dict[str, object]] = []
+        truncated = 0
+        corrupted = False
         try:
             text = self.path.read_text(encoding="utf-8")
         except FileNotFoundError:
-            return records
+            return records, truncated
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -167,11 +225,23 @@ class ChurnJournal:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn append: the batch never became durable
-            if isinstance(record, dict) and isinstance(
-                record.get("type"), str
+                corrupted = True
+                continue
+            if not (
+                isinstance(record, dict)
+                and isinstance(record.get("type"), str)
             ):
-                records.append(record)
+                corrupted = True
+                continue
+            if corrupted:
+                truncated += 1  # durable but unreachable: after a hole
+                continue
+            records.append(record)
+        return records, truncated
+
+    def _load(self) -> list[dict[str, object]]:
+        """The trusted (contiguous-prefix) records, in order."""
+        records, _ = self._scan()
         return records
 
     def records(self) -> list[dict[str, object]]:
@@ -201,16 +271,26 @@ class ChurnJournal:
         saturates it, then commits the replayed pending batches so a
         second recovery is a no-op.  Returns the engine and a report:
         ``batches`` (diffs folded), ``replayed_pending`` (how many were
-        crash victims), ``facts`` (base facts after the fold).
+        crash victims), ``facts`` (base facts after the fold), and
+        ``truncated_records`` (durable records dropped because they
+        sat beyond mid-file corruption — recovery stops at the last
+        contiguous prefix).
         """
         from repro.inference.horn import HornEngine
+
+        records, truncated = self._scan()
+        if truncated:
+            # same healing as __init__: make the surviving prefix the
+            # whole file so later appends stay readable
+            self._rewrite(records)
+            self.truncated_records = truncated
 
         facts: set[Atom] = set()
         clauses: list = []
         batches = 0
         committed: set[int] = set()
         begun: list[int] = []
-        for record in self._load():
+        for record in records:
             kind = record.get("type")
             if kind == "snapshot":
                 facts = {
@@ -244,6 +324,7 @@ class ChurnJournal:
             "batches": batches,
             "replayed_pending": len(pending),
             "facts": len(facts),
+            "truncated_records": self.truncated_records,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

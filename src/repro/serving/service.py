@@ -117,12 +117,18 @@ class ArticulationService:
         session_limit: int = 256,
         journal_path: str | None = None,
         snapshot_every: int = 32,
+        storage: str = "memory",
+        storage_path: str | None = None,
+        buffer_facts: int | None = None,
         workers: int = 1,
         retry_policy=None,
         fault_plan=None,
     ) -> None:
         self.pushdown = pushdown
         self.plan_cache_size = plan_cache_size
+        self.storage = storage
+        self.storage_path = storage_path
+        self.buffer_facts = buffer_facts
         self.workers = workers
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
@@ -160,6 +166,9 @@ class ArticulationService:
             self.journal = ChurnJournal(journal_path)
             if self.journal.records():
                 horn, report = self.journal.recover(
+                    storage=storage,
+                    storage_path=storage_path,
+                    buffer_facts=buffer_facts,
                     workers=workers,
                     retry_policy=retry_policy,
                     fault_plan=fault_plan,
@@ -269,7 +278,12 @@ class ArticulationService:
         self._maintainer = ArticulationMaintainer(articulation)
         for source_name, ontology in articulation.sources.items():
             self._ontologies[source_name] = ontology
+        # an explicit storage_path belongs to journal recovery (the
+        # ingest handoff); a freshly installed articulation must start
+        # from an empty store, so its paged engine gets a temp file
         self._inference = OntologyInferenceEngine(
+            storage=self.storage,
+            buffer_facts=self.buffer_facts,
             workers=self.workers,
             retry_policy=self.retry_policy,
             fault_plan=self.fault_plan,
@@ -487,27 +501,60 @@ class ArticulationService:
             )
         session_id = optional(payload, "session")
         self._counts["infers"] += 1
+        text = json.dumps(
+            {k: payload[k] for k in sorted(payload) if k != "session"},
+            sort_keys=True,
+        )
         if session_id is not None:
             session = self.sessions.get(session_id)
-            return self._infer_against(payload, op, session=session)
+            # The version in the key is the session's *pinned* one,
+            # read from the session state itself — never
+            # self.engine_version, which a concurrent publication can
+            # bump between our version-read and the cache insert and
+            # so file a pinned-snapshot answer under the live version.
+            # The pinned version fully identifies the frozen fixpoint,
+            # so no live field (fingerprint included) belongs here.
+            cache_key = QueryResultCache.key(
+                "infer-session",
+                text,
+                None,
+                (session.engine_version, _ENGINE_EPOCH),
+            )
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                result = dict(cached)
+                result["cached"] = True
+                return result
+            result = self._infer_against(payload, op, session=session)
+            self.cache.put(cache_key, result)
+            result = dict(result)
+            result["cached"] = False
+            return result
 
-        cache_key = QueryResultCache.key(
+        provisional = QueryResultCache.key(
             "infer",
-            json.dumps(
-                {k: payload[k] for k in sorted(payload) if k != "session"},
-                sort_keys=True,
-            ),
+            text,
             self._fingerprint(),
             (self.engine_version, _ENGINE_EPOCH),
         )
-        cached = self.cache.get(cache_key)
+        cached = self.cache.get(provisional)
         if cached is not None:
             result = dict(cached)
             result["cached"] = True
             return result
         with self._rw.read():
+            # Re-mint under the read lock: writers are excluded here,
+            # so the version, the fingerprint, the computed answer and
+            # the inserted entry all describe the same publication —
+            # the provisional key above is only a lock-free fast path.
+            cache_key = QueryResultCache.key(
+                "infer",
+                text,
+                self._fingerprint(),
+                (self.engine_version, _ENGINE_EPOCH),
+            )
             result = self._infer_against(payload, op, session=None)
-        self.cache.put(cache_key, result)
+            self.cache.put(cache_key, result)
         result = dict(result)
         result["cached"] = False
         return result
@@ -556,13 +603,13 @@ class ArticulationService:
         if self._query_engine is None:
             raise ServingError("no articulation loaded; queries unavailable")
         self._counts["queries"] += 1
-        cache_key = QueryResultCache.key(
+        provisional = QueryResultCache.key(
             "query",
             text,
             self._fingerprint(),
             (self.engine_version, _ENGINE_EPOCH),
         )
-        cached = self.cache.get(cache_key)
+        cached = self.cache.get(provisional)
         if cached is not None:
             return list(cached), {
                 "rows": len(cached),
@@ -570,10 +617,18 @@ class ArticulationService:
                 "engine_version": self.engine_version,
             }
         with self._rw.read():
+            # same discipline as infer(): key minted where writers are
+            # excluded, so key and rows describe one publication
+            cache_key = QueryResultCache.key(
+                "query",
+                text,
+                self._fingerprint(),
+                (self.engine_version, _ENGINE_EPOCH),
+            )
             rows = [
                 row_to_wire(row) for row in self._query_engine.execute(text)
             ]
-        self.cache.put(cache_key, rows)
+            self.cache.put(cache_key, rows)
         return rows, {
             "rows": len(rows),
             "cached": False,

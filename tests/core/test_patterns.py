@@ -438,6 +438,27 @@ class TestIncrementalIndexMaintenance:
             "Bulk"
         )
 
+    def test_overflow_resets_delta_refresh_accounting(self) -> None:
+        """Regression: refresh() returning False (journal overflow)
+        must zero ``delta_refreshes`` — a direct index holder that
+        polls the counter across an overflow must not see replay
+        credit earned before the gap, or it over-reports incremental
+        refreshes that the forced rebuild just threw away."""
+        from repro.core.graph import _JOURNAL_RETENTION
+        from repro.core.patterns import MatchIndex
+
+        g = LabeledGraph()
+        g.add_node("Car")
+        config = self._config()
+        index = MatchIndex.for_graph(g, config)
+        g.add_node("Auto1", "Auto")
+        assert index.refresh() is True
+        assert index.delta_refreshes == 1
+        for i in range(_JOURNAL_RETENTION + 10):
+            g.add_node(f"bulk{i}", "Bulk")
+        assert index.refresh() is False  # overflow: caller must rebuild
+        assert index.delta_refreshes == 0
+
     def test_journal_since_semantics(self) -> None:
         g = LabeledGraph()
         g.add_node("A")
@@ -448,3 +469,66 @@ class TestIncrementalIndexMaintenance:
         rows = g.journal_since(v)
         assert [row[1] for row in rows] == ["add_node", "add_edge"]
         assert rows[-1][0] == g.version
+
+
+class TestLabelCacheSpill:
+    """MatchIndex.enable_spill: label→candidate maps page to disk."""
+
+    def _big_graph(self) -> LabeledGraph:
+        g = LabeledGraph()
+        for i in range(40):
+            g.add_node(f"n{i}", f"Label{i}")
+        return g
+
+    def test_spilled_candidates_match_unbounded_cache(self) -> None:
+        from repro.core.patterns import MatchIndex
+
+        g = self._big_graph()
+        config = MatchConfig(case_insensitive=True)
+        index = MatchIndex(g, config)
+        spill = index.enable_spill(capacity=4)
+        try:
+            labels = [f"label{i}" for i in range(40)]
+            first = {label: index.candidates(label) for label in labels}
+            assert spill.stats()["spilled"] > 0  # the cap actually bit
+            # revisiting promotes from disk and answers identically
+            oracle = MatchIndex(g, config)
+            for label in labels:
+                assert index.candidates(label) == first[label]
+                assert first[label] == oracle.candidates(label)
+            assert spill.stats()["reloads"] > 0
+        finally:
+            spill.close()
+
+    def test_refresh_drops_spilled_entries(self) -> None:
+        from repro.core.patterns import MatchIndex
+
+        g = self._big_graph()
+        config = MatchConfig(case_insensitive=True)
+        index = MatchIndex.for_graph(g, config)
+        spill = index.enable_spill(capacity=2)
+        try:
+            for i in range(8):
+                index.candidates(f"label{i}")  # spills the early ones
+            g.add_node("extra", "Label0")
+            assert index.refresh() is True
+            # the spilled Label0 tuple predates the mutation; replay
+            # could not patch it, so refresh must have dropped it
+            assert "extra" in index.candidates("label0")
+            assert index.candidates("label0") == MatchIndex(
+                g, config
+            ).candidates("label0")
+        finally:
+            spill.close()
+
+    def test_memoized_entries_carry_over(self) -> None:
+        from repro.core.patterns import MatchIndex
+
+        g = self._big_graph()
+        index = MatchIndex(g, MatchConfig(case_insensitive=True))
+        warm = index.candidates("label7")
+        spill = index.enable_spill(capacity=8)
+        try:
+            assert index.candidates("label7") == warm
+        finally:
+            spill.close()

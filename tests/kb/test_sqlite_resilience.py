@@ -131,6 +131,69 @@ class TestBulkRollback:
         backend.close()
 
 
+class TestRollbackFailureRecovery:
+    """Regression: a ROLLBACK that itself raises used to leave the
+    connection wedged inside a half-open transaction — a later bulk()
+    would BEGIN on top of the stale BEGIN and die.  The backend now
+    discards and replaces the connection."""
+
+    def _fail_rollback(self, backend, monkeypatch) -> None:
+        def boom() -> None:
+            raise sqlite3.OperationalError("disk I/O error (rollback)")
+
+        monkeypatch.setattr(backend, "_rollback", boom)
+
+    def test_memory_backend_usable_after_rollback_failure(
+        self, monkeypatch
+    ) -> None:
+        backend = SQLiteBackend()
+        backend.insert(_instance(0))
+        self._fail_rollback(backend, monkeypatch)
+        with pytest.raises(RuntimeError, match="mid-bulk"):
+            with backend.bulk():
+                backend.insert(_instance(1))
+                raise RuntimeError("load failed mid-bulk")
+        monkeypatch.undo()
+        # the replacement connection carries no half-open transaction
+        assert not backend._conn.in_transaction
+        with backend.bulk():  # a later bulk() must work end to end
+            backend.insert(_instance(7))
+        assert backend.get("i7") is not None
+        backend.close()
+
+    def test_file_backend_keeps_committed_rows(
+        self, tmp_path, monkeypatch
+    ) -> None:
+        backend = SQLiteBackend(tmp_path / "kb.db")
+        backend.insert(_instance(0))
+        self._fail_rollback(backend, monkeypatch)
+        with pytest.raises(RuntimeError):
+            with backend.bulk():
+                backend.insert(_instance(1))
+                raise RuntimeError("load failed mid-bulk")
+        monkeypatch.undo()
+        assert not backend._conn.in_transaction
+        # durable pre-bulk state survived the connection swap...
+        assert backend.get("i0") is not None
+        # ...the uncommitted bulk work did not...
+        assert backend.get("i1") is None
+        # ...and the backend takes new transactions
+        with backend.bulk():
+            backend.insert(_instance(2))
+        assert len(backend) == 2
+        backend.close()
+
+    def test_rollback_success_path_untouched(self) -> None:
+        backend = SQLiteBackend()
+        with pytest.raises(RuntimeError):
+            with backend.bulk():
+                backend.insert(_instance(1))
+                raise RuntimeError("boom")
+        assert not backend._conn.in_transaction
+        assert backend.get("i1") is None
+        backend.close()
+
+
 class TestContextManager:
     def test_with_statement_closes_connection(self) -> None:
         with SQLiteBackend() as backend:

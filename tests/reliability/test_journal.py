@@ -46,6 +46,7 @@ class TestJournalRecords:
             handle.write('{"type": "begin", "seq": 99, "ad')  # torn
         reopened = ChurnJournal(path)
         assert reopened.pending() == []
+        assert reopened.truncated_records == 0  # a tail is not a hole
         # ...and the next append does not merge into the torn line
         seq2 = reopened.begin([("S", "x", "y")], [])
         records = reopened.records()
@@ -53,6 +54,110 @@ class TestJournalRecords:
             r.get("type") == "begin" and r.get("seq") == seq2
             for r in records
         )
+
+    def test_append_heals_rather_than_seals_a_torn_tail(
+        self, tmp_path
+    ) -> None:
+        """The torn line must vanish from the file, not be newline-
+        terminated into permanent mid-file garbage (which would make
+        every later record look like it sat beyond corruption)."""
+        path = tmp_path / "j.jsonl"
+        journal = ChurnJournal(path)
+        seq = journal.begin([("S", "a", "b")], [])
+        journal.commit(seq)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "begin", "seq": 99, "ad')
+        reopened = ChurnJournal(path)
+        reopened.begin([("S", "x", "y")], [])
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+        for line in raw_lines:
+            json.loads(line)  # every surviving line parses
+        # and a third open sees the full, uncorrupted history
+        third = ChurnJournal(path)
+        assert third.truncated_records == 0
+        assert len(third.records()) == 3
+
+
+def _corrupt_line(path, index: int, *, keep_bytes: int = 12) -> None:
+    """Byte-level harness: tear line ``index`` mid-record, keeping the
+    rest of the file (the compaction-crash-plus-append shape)."""
+    raw = path.read_bytes().split(b"\n")
+    raw[index] = raw[index][:keep_bytes]
+    path.write_bytes(b"\n".join(raw))
+
+
+class TestMidFileCorruption:
+    def _journal_with_history(self, path, batches: int = 4) -> list[int]:
+        journal = ChurnJournal(path)
+        seqs = []
+        for i in range(batches):
+            seq = journal.begin([("S", f"n{i}", f"n{i + 1}")], [])
+            journal.commit(seq)
+            seqs.append(seq)
+        return seqs
+
+    def test_recovery_stops_at_last_contiguous_prefix(self, tmp_path) -> None:
+        path = tmp_path / "j.jsonl"
+        self._journal_with_history(path, batches=4)
+        # 8 lines (begin/commit x4); tear the 5th (begin of batch 2,
+        # 0-indexed line 4) — records after it are durable but sit
+        # beyond a hole
+        _corrupt_line(path, 4)
+        journal = ChurnJournal(path)
+        assert journal.truncated_records == 3
+        recovered, report = journal.recover()
+        assert report["truncated_records"] == 3
+        assert report["batches"] == 2  # the prefix: batches 0 and 1
+        assert recovered.base_facts() == {
+            ("S", "n0", "n1"),
+            ("S", "n1", "n2"),
+        }
+
+    def test_corruption_detected_at_recover_time_too(self, tmp_path) -> None:
+        """recover() on an already-open journal must notice bytes that
+        rotted after the open."""
+        path = tmp_path / "j.jsonl"
+        self._journal_with_history(path, batches=3)
+        journal = ChurnJournal(path)
+        assert journal.truncated_records == 0
+        _corrupt_line(path, 2)  # begin of batch 1
+        recovered, report = journal.recover()
+        assert report["truncated_records"] == 3
+        assert recovered.base_facts() == {("S", "n0", "n1")}
+
+    def test_file_healed_so_later_appends_are_readable(self, tmp_path) -> None:
+        path = tmp_path / "j.jsonl"
+        self._journal_with_history(path, batches=4)
+        _corrupt_line(path, 4)
+        journal = ChurnJournal(path)
+        seq = journal.begin([("S", "x", "y")], [])
+        journal.commit(seq)
+        # a fresh open reads prefix + the new batch, with no losses
+        fresh = ChurnJournal(path)
+        assert fresh.truncated_records == 0
+        assert fresh.pending() == []
+        recovered, report = fresh.recover()
+        assert report["truncated_records"] == 0
+        assert ("S", "x", "y") in recovered.base_facts()
+        assert recovered.base_facts() == {
+            ("S", "n0", "n1"),
+            ("S", "n1", "n2"),
+            ("S", "x", "y"),
+        }
+
+    def test_new_seqs_do_not_collide_with_truncated_region(
+        self, tmp_path
+    ) -> None:
+        """After truncation the journal may re-issue sequence numbers
+        the dropped region used — the heal rewrote the file, so the
+        stale commit records that could falsely mark a new begin as
+        committed are gone."""
+        path = tmp_path / "j.jsonl"
+        self._journal_with_history(path, batches=4)
+        _corrupt_line(path, 4)
+        journal = ChurnJournal(path)
+        seq = journal.begin([("S", "x", "y")], [])
+        assert journal.pending() == [seq]  # no phantom commit
 
 
 class TestApplyBatchJournaling:

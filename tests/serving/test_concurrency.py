@@ -132,6 +132,96 @@ class TestArticulationMemos:
         assert len({covered for _, covered in results}) == 1
 
 
+class TestInferCacheKeying:
+    def test_session_answer_cached_under_pinned_version_only(self) -> None:
+        """Regression: a publication landing between a session infer's
+        version-read and its cache insert must not file the pinned-
+        snapshot (now stale) answer where a live read at the new
+        version can hit it.  The fix keys session answers by the
+        session's *pinned* engine_version, read from the session
+        state itself."""
+        service = ArticulationService()
+        load_paper_workload(service)
+        sid = service.create_session()["session"]
+        payload = {
+            "op": "generalizations",
+            "term": "carrier:Car",
+            "session": sid,
+        }
+
+        original = service._infer_against
+        in_session_eval = threading.Event()
+        publish_done = threading.Event()
+
+        def interleaved(body, op, session):
+            if session is not None:
+                # pause the session evaluation mid-flight, exactly
+                # between the cache-key mint and the cache insert
+                in_session_eval.set()
+                assert publish_done.wait(5), "writer never published"
+            return original(body, op, session)
+
+        service._infer_against = interleaved
+        answers: dict[str, dict] = {}
+        errors: list[BaseException] = []
+
+        def session_reader() -> None:
+            try:
+                answers["session"] = service.infer(payload)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer() -> None:
+            try:
+                assert in_session_eval.wait(5), "session never started"
+                service.apply_facts(
+                    [("implies", "transport:Vehicle", "stress:Everything")],
+                    [],
+                )
+                publish_done.set()
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+                publish_done.set()
+
+        threads = [
+            threading.Thread(target=session_reader),
+            threading.Thread(target=writer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service._infer_against = original
+        assert errors == []
+
+        # the session answered from its pinned fixpoint...
+        assert "stress:Everything" not in answers["session"]["terms"]
+        # ...and that stale answer is NOT served to a live read at the
+        # post-publication version
+        live = service.infer({"op": "generalizations", "term": "carrier:Car"})
+        assert "stress:Everything" in live["terms"]
+        # while the session's own cache entry keeps its isolation
+        again = service.infer(payload)
+        assert again["cached"] is True
+        assert again["terms"] == answers["session"]["terms"]
+
+    def test_live_entry_not_served_to_sessions(self) -> None:
+        """The reverse direction: live answers must never hit for a
+        session pinned at an older fixpoint."""
+        service = ArticulationService()
+        load_paper_workload(service)
+        sid = service.create_session()["session"]
+        service.apply_facts(
+            [("implies", "transport:Vehicle", "stress:Later")], []
+        )
+        live = service.infer({"op": "generalizations", "term": "carrier:Car"})
+        assert "stress:Later" in live["terms"]
+        pinned = service.infer(
+            {"op": "generalizations", "term": "carrier:Car", "session": sid}
+        )
+        assert "stress:Later" not in pinned["terms"]
+
+
 class TestServiceStress:
     def test_reads_survive_concurrent_churn(self) -> None:
         service = ArticulationService()

@@ -143,6 +143,7 @@ def replay_incremental(
     scheduling: str = "stratified",
     saturate_every: int = 1,
     seed_clauses: tuple[HornClause, ...] = (),
+    storage: str = "memory",
     workers: int = 1,
     retry_policy=None,
     fault_plan=None,
@@ -156,10 +157,15 @@ def replay_incremental(
     every saturation through the parallel stratum scheduler; a
     ``fault_plan`` injects seeded chaos into those saturations (the
     snapshots must still equal the fault-free oracle).
+    ``storage="paged"`` runs the whole script against the disk-backed
+    :class:`~repro.kb.pagestore.PagedFactStore` (a RAM-resident SQLite
+    database, so the paging machinery is exercised at test speed).
     """
     engine = HornEngine(
         strategy=strategy,
         scheduling=scheduling,
+        storage=storage,
+        storage_path=":memory:" if storage == "paged" else None,
         workers=workers,
         retry_policy=retry_policy,
         fault_plan=fault_plan,
